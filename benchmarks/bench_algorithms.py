@@ -1,0 +1,33 @@
+"""Head-to-head benchmark of every registered miner on one workload.
+
+The paper's Table 5 catalogues the strategies each algorithm uses; this
+bench puts all of them on the same database so the strategy differences
+show up as wall-clock (brute force excluded — it exists as an oracle,
+not a contender).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mining.api import mine
+
+ALGORITHMS = (
+    "disc-all",
+    "disc-all-plain",
+    "dynamic-disc-all",
+    "multilevel-disc-all",
+    "prefixspan",
+    "pseudo",
+    "gsp",
+    "spade",
+    "spam",
+)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_algorithm_head_to_head(benchmark, fig9_db, smoke, algorithm):
+    minsup = smoke.fig9_minsups[0]
+    benchmark.group = "all algorithms, fig9 smoke database"
+    result = benchmark(mine, fig9_db, minsup, algorithm=algorithm)
+    assert len(result) > 0

@@ -1,0 +1,22 @@
+"""Figure 10: processing time vs theta (avg transactions per customer).
+
+Paper shape: Dynamic DISC-all best as theta grows; static DISC-all loses
+to Pseudo at the largest theta.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mining.api import mine
+
+ALGORITHMS = ("dynamic-disc-all", "disc-all", "prefixspan", "pseudo")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("theta_index", [0, 1], ids=["low-theta", "high-theta"])
+def test_fig10_runtime(benchmark, theta_dbs, smoke, algorithm, theta_index):
+    theta = smoke.theta_values[theta_index]
+    benchmark.group = f"fig10 theta={theta}"
+    result = benchmark(mine, theta_dbs[theta], smoke.theta_minsup, algorithm=algorithm)
+    assert len(result) > 0

@@ -1,0 +1,23 @@
+"""Figure 8: processing time vs database size (Ncust sweep).
+
+Paper shape: DISC-all fastest of the three, the gap widening as the
+number of customer sequences grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mining.api import mine
+
+ALGORITHMS = ("disc-all", "prefixspan", "pseudo")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("ncust_index", [0, 1], ids=["small", "large"])
+def test_fig8_runtime(benchmark, fig8_dbs, smoke, algorithm, ncust_index):
+    ncust = smoke.fig8_ncust[ncust_index]
+    db = fig8_dbs[ncust]
+    benchmark.group = f"fig8 ncust={ncust}"
+    result = benchmark(mine, db, smoke.fig8_minsup, algorithm=algorithm)
+    assert len(result) > 0

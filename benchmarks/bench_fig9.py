@@ -1,0 +1,22 @@
+"""Figure 9: processing time vs minimum support threshold.
+
+Paper shape: DISC-all spends the least time across the delta sweep on
+the dense database of [8].
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mining.api import mine
+
+ALGORITHMS = ("disc-all", "prefixspan", "pseudo")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("minsup_index", [0, 1], ids=["high", "low"])
+def test_fig9_runtime(benchmark, fig9_db, smoke, algorithm, minsup_index):
+    minsup = smoke.fig9_minsups[minsup_index]
+    benchmark.group = f"fig9 minsup={minsup}"
+    result = benchmark(mine, fig9_db, minsup, algorithm=algorithm)
+    assert len(result) > 0

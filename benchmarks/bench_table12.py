@@ -1,0 +1,28 @@
+"""Table 12: average NRR per partition level under different deltas.
+
+The benchmark measures the full pipeline that regenerates the table:
+mining the dense database and computing the per-level NRR profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.nrr import compute_nrr_profile
+from repro.mining.api import mine
+
+
+@pytest.mark.parametrize("minsup_index", [0, 1], ids=["high", "low"])
+def test_table12_profile(benchmark, fig9_db, smoke, minsup_index):
+    minsup = smoke.fig9_minsups[minsup_index]
+    benchmark.group = "table12"
+
+    def regenerate():
+        result = mine(fig9_db, minsup, algorithm="disc-all")
+        return compute_nrr_profile(result.patterns, len(fig9_db)).averages()
+
+    profile = benchmark(regenerate)
+    # Shape assertions from §4.2: tiny at the root, larger when deeper.
+    assert profile[0] < 0.2
+    if 2 in profile:
+        assert profile[2] >= profile[0]

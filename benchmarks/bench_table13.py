@@ -1,0 +1,19 @@
+"""Table 13: the processing-time ratio of Pseudo to DISC-all.
+
+The benchmark times both sides at one threshold; the full ratio sweep is
+``python -m repro experiment table13``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mining.api import mine
+
+
+@pytest.mark.parametrize("algorithm", ["pseudo", "disc-all"])
+def test_table13_sides(benchmark, fig9_db, smoke, algorithm):
+    minsup = smoke.fig9_minsups[-1]
+    benchmark.group = f"table13 minsup={minsup}"
+    result = benchmark(mine, fig9_db, minsup, algorithm=algorithm)
+    assert len(result) > 0

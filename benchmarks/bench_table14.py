@@ -1,0 +1,22 @@
+"""Table 14: average NRR per level under different thetas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.nrr import compute_nrr_profile
+from repro.mining.api import mine
+
+
+@pytest.mark.parametrize("theta_index", [0, 1], ids=["low-theta", "high-theta"])
+def test_table14_profile(benchmark, theta_dbs, smoke, theta_index):
+    theta = smoke.theta_values[theta_index]
+    db = theta_dbs[theta]
+    benchmark.group = "table14"
+
+    def regenerate():
+        result = mine(db, smoke.theta_minsup, algorithm="disc-all")
+        return compute_nrr_profile(result.patterns, len(db)).averages()
+
+    profile = benchmark(regenerate)
+    assert profile[0] < 0.5

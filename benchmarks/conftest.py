@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks exercise the same drivers as ``repro.bench.experiments``
+at the ``smoke`` scale so that ``pytest benchmarks/ --benchmark-only``
+finishes in minutes; run ``python -m repro experiment <name> --scale
+repro`` for the full-size rows recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SCALES
+from repro.bench import experiments as exp
+
+
+@pytest.fixture(scope="session")
+def smoke():
+    return SCALES["smoke"]
+
+
+@pytest.fixture(scope="session")
+def fig9_db(smoke):
+    return exp._fig9_db(smoke)
+
+
+@pytest.fixture(scope="session")
+def fig8_dbs(smoke):
+    return {ncust: exp._fig8_db(smoke, ncust) for ncust in smoke.fig8_ncust}
+
+
+@pytest.fixture(scope="session")
+def theta_dbs(smoke):
+    return {theta: exp._theta_db(smoke, theta) for theta in smoke.theta_values}

@@ -1,0 +1,111 @@
+"""Advanced features tour: top-k, constraints, closed patterns, verify.
+
+Run:  python examples/advanced_features.py
+
+Uses a synthetic support-ticket workflow log (ticket states over time)
+to demonstrate the extension modules beyond the paper's core algorithm:
+
+* top-k mining when no good support threshold is known in advance;
+* gap/span constraints ("states must follow within two steps");
+* closed/maximal compression of the result;
+* independent verification of a mining run.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.sequence import format_seq
+from repro.db.database import SequenceDatabase
+from repro.ext.constraints import Constraints, mine_constrained
+from repro.ext.topk import mine_topk
+from repro.mining.api import mine
+from repro.mining.verify import verify_patterns
+
+STATES = [
+    "opened", "triaged", "assigned", "in-progress", "blocked",
+    "review", "reopened", "resolved", "closed",
+]
+
+FLOWS = [
+    (["opened", "triaged", "assigned", "in-progress", "review", "resolved", "closed"], 0.5),
+    (["opened", "triaged", "assigned", "in-progress", "blocked", "in-progress", "resolved"], 0.2),
+    (["opened", "resolved", "reopened", "assigned", "resolved", "closed"], 0.15),
+]
+
+
+def synthesise_tickets(n: int = 300, seed: int = 21):
+    rng = random.Random(seed)
+    tickets = []
+    for _ in range(n):
+        roll = rng.random()
+        acc = 0.0
+        flow = None
+        for states, share in FLOWS:
+            acc += share
+            if roll < acc:
+                flow = list(states)
+                break
+        if flow is None:  # fully random ticket history
+            flow = rng.choices(STATES, k=rng.randint(3, 7))
+        # Drop / duplicate a step occasionally (messy real-world logs).
+        if rng.random() < 0.3 and len(flow) > 3:
+            flow.pop(rng.randrange(len(flow)))
+        if rng.random() < 0.2:
+            flow.insert(rng.randrange(len(flow)), rng.choice(STATES))
+        tickets.append([[state] for state in flow])
+    return tickets
+
+
+def main() -> None:
+    db = SequenceDatabase.from_itemsets(synthesise_tickets())
+    vocab = db.vocabulary
+    assert vocab is not None
+
+    def pretty(raw) -> str:
+        return " -> ".join(txn[0] for txn in vocab.decode(raw))
+
+    # 1. Top-k: no threshold guessing.
+    print("top 8 state sequences of 3+ steps:")
+    for pattern, count in mine_topk(db.members(), 8, min_length=3):
+        print(f"  {count:4d}  {pretty(pattern)}")
+
+    # 2. Constraints: consecutive states at most 2 log steps apart, the
+    #    whole pattern within a span of 6.
+    constraints = Constraints(max_gap=2, max_span=6)
+    constrained = mine_constrained(db.members(), delta=45, constraints=constraints)
+    plain = mine(db, 45, algorithm="disc-all")
+    print(
+        f"\nconstrained mining (max_gap=2, max_span=6): "
+        f"{len(constrained)} patterns vs {len(plain)} unconstrained"
+    )
+    tight = [
+        (count, raw) for raw, count in constrained.items() if len(raw) >= 4
+    ]
+    for count, raw in sorted(tight, reverse=True)[:5]:
+        print(f"  {count:4d}  {pretty(raw)}")
+
+    # 3. Closed and maximal compression.
+    closed = plain.closed_patterns()
+    maximal = plain.maximal_patterns()
+    print(
+        f"\ncompression: {len(plain)} frequent -> {len(closed)} closed "
+        f"-> {len(maximal)} maximal"
+    )
+    print("longest maximal flows:")
+    longest = sorted(maximal, key=len, reverse=True)[:3]
+    for raw in longest:
+        print(f"  {maximal[raw]:4d}  {pretty(raw)}")
+
+    # 4. Independent verification of the run.
+    report = verify_patterns(
+        plain.patterns, list(db.sequences), plain.delta, sample=100
+    )
+    print("\n" + report.summary())
+    for error in report.errors:
+        print("  " + error)
+    assert report.ok
+
+
+if __name__ == "__main__":
+    main()

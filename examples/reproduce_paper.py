@@ -1,0 +1,45 @@
+"""Reproduce the paper's evaluation section in one run.
+
+Run:  python examples/reproduce_paper.py [scale]
+
+Regenerates every table and figure of the paper (Figures 8-10, Tables
+12-14) plus this reproduction's own ablation and memory experiments, and
+prints them as the ASCII tables recorded in EXPERIMENTS.md.  The default
+``smoke`` scale finishes in a couple of minutes; pass ``repro`` for the
+laptop-scale runs the documentation quotes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.harness import SCALES, run_experiment
+
+ORDER = ["fig8", "fig9", "fig10", "table12", "table13", "table14",
+         "ablation", "memory", "operations"]
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "smoke"
+    if scale not in SCALES:
+        raise SystemExit(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    print(f"reproducing the evaluation at scale '{scale}'")
+    print("=" * 70)
+    total = time.perf_counter()
+    for name in ORDER:
+        assert name in EXPERIMENTS
+        started = time.perf_counter()
+        result = run_experiment(name, scale=scale)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+    print("=" * 70)
+    print(f"full evaluation regenerated in {time.perf_counter() - total:.1f}s")
+    print("compare the shapes against EXPERIMENTS.md")
+
+
+if __name__ == "__main__":
+    main()

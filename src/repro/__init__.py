@@ -1,0 +1,31 @@
+"""repro — a faithful reproduction of the DISC sequential-pattern miner.
+
+This package implements "An Efficient Algorithm for Mining Frequent
+Sequences by a New Strategy without Support Counting" (Chiu, Wu & Chen,
+ICDE 2004): the DISC strategy, the DISC-all and Dynamic DISC-all
+algorithms, the baselines the paper compares against (GSP, SPADE, SPAM,
+PrefixSpan, pseudo-projection PrefixSpan), an IBM Quest-style synthetic
+data generator, and a benchmark harness reproducing every table and
+figure of the paper's evaluation.
+
+Quickstart
+----------
+
+>>> from repro import Sequence, SequenceDatabase, mine
+>>> db = SequenceDatabase.from_texts(["(a, e, g)(b)(h)(f)(c)(b, f)",
+...                                   "(b)(d, f)(e)",
+...                                   "(b, f, g)",
+...                                   "(f)(a, g)(b, f, h)(b, f)"])
+>>> result = mine(db, min_support=2, algorithm="disc-all")
+>>> result.support(Sequence.of("(a, g)(b)"))
+2
+"""
+
+from repro.core.sequence import Sequence
+from repro.db.database import SequenceDatabase
+from repro.mining.api import mine
+from repro.mining.result import MiningResult
+
+__version__ = "1.0.0"
+
+__all__ = ["Sequence", "SequenceDatabase", "mine", "MiningResult", "__version__"]

@@ -1,0 +1,27 @@
+"""Baseline miners the paper compares against (systems S12-S17).
+
+Every miner in this package exposes the same functional interface::
+
+    mine(members, delta) -> dict[RawSequence, int]
+
+where *members* is a list of ``(cid, sequence)`` pairs and the result maps
+each frequent sequence to its exact support count.  All of them — and the
+DISC algorithms — must return identical maps; the test suite enforces
+this against the brute-force reference on randomised databases.
+"""
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.baselines.gsp import mine_gsp
+from repro.baselines.prefixspan import mine_prefixspan
+from repro.baselines.pseudo import mine_pseudo_prefixspan
+from repro.baselines.spade import mine_spade
+from repro.baselines.spam import mine_spam
+
+__all__ = [
+    "mine_bruteforce",
+    "mine_gsp",
+    "mine_prefixspan",
+    "mine_pseudo_prefixspan",
+    "mine_spade",
+    "mine_spam",
+]

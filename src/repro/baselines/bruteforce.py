@@ -1,0 +1,57 @@
+"""Brute-force levelwise miner (system S12) — the tests' ground truth.
+
+Deliberately the simplest correct algorithm: grow frequent k-sequences
+into (k+1)-candidates by every possible itemset/sequence extension with a
+frequent item, count each candidate by a full containment scan, keep the
+frequent ones.  Completeness follows from the anti-monotone property:
+every frequent (k+1)-sequence is an extension of its (necessarily
+frequent) k-prefix.  No data structure cleverness — this is the oracle
+the fast miners are checked against, not a contender.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.counting import count_frequent_items
+from repro.core.sequence import (
+    RawSequence,
+    contains,
+    itemset_extension,
+    sequence_extension,
+)
+
+
+def mine_bruteforce(
+    members: Iterable[tuple[int, RawSequence]], delta: int
+) -> dict[RawSequence, int]:
+    """All frequent sequences with support >= *delta*, by exhaustive search."""
+    if delta < 1:
+        raise ValueError(f"delta must be >= 1, got {delta}")
+    sequences = [seq for _, seq in members]
+    item_counts = count_frequent_items(list(enumerate(sequences, 1)), delta)
+    frequent_items = sorted(item_counts)
+    patterns: dict[RawSequence, int] = {
+        ((item,),): count for item, count in item_counts.items()
+    }
+    frontier: list[RawSequence] = sorted(patterns)
+    while frontier:
+        next_frontier: list[RawSequence] = []
+        for pattern in frontier:
+            for candidate in _extensions(pattern, frequent_items):
+                count = sum(1 for seq in sequences if contains(seq, candidate))
+                if count >= delta:
+                    patterns[candidate] = count
+                    next_frontier.append(candidate)
+        frontier = next_frontier
+    return patterns
+
+
+def _extensions(pattern: RawSequence, items: list[int]) -> Iterable[RawSequence]:
+    """Every canonical one-item extension of *pattern*."""
+    last_item = pattern[-1][-1]
+    for item in items:
+        if item > last_item:
+            yield itemset_extension(pattern, item)
+    for item in items:
+        yield sequence_extension(pattern, item)

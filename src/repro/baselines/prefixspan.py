@@ -1,0 +1,167 @@
+"""PrefixSpan with physical projection (system S14; Pei et al., ICDE 2001).
+
+The paper's main comparator.  PrefixSpan grows patterns depth-first; for
+each frequent pattern it materialises the *projected database* — the
+postfix of every supporting customer sequence after the leftmost match —
+and counts the frequent extensions inside it.
+
+A postfix is ``(partial, rest)``: the items remaining in the matched
+transaction after the matched item (the ``(_, e, g)`` notation of
+Table 2) plus the following transactions.  Because the projection is
+taken at the leftmost match and keeps the entire remainder, itemset
+extensions realised by *later* transactions are still found through the
+"rest transaction contains the whole last itemset" rule, exactly as in
+the original algorithm's ``(_x)`` matching.
+
+This variant pays the projection cost the paper attributes to PrefixSpan:
+every recursion level copies postfix tuples.  See
+:mod:`repro.baselines.pseudo` for the pointer-based variant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.counting import count_frequent_items
+from repro.core.sequence import (
+    RawSequence,
+    Transaction,
+    itemset_extension,
+    sequence_extension,
+)
+
+#: A physically projected postfix: items left in the matched transaction,
+#: then the remaining transactions.
+Postfix = tuple[Transaction, RawSequence]
+
+
+#: Operation counters of the most recent :func:`mine_prefixspan` run —
+#: the projection cost Section 1.1 attributes to PrefixSpan, made
+#: observable for the operation-count experiment.
+last_run_stats: dict[str, int] = {"projections_built": 0, "postfixes_copied": 0}
+
+
+def mine_prefixspan(
+    members: Iterable[tuple[int, RawSequence]], delta: int
+) -> dict[RawSequence, int]:
+    """All frequent sequences with support >= *delta*, by PrefixSpan."""
+    if delta < 1:
+        raise ValueError(f"delta must be >= 1, got {delta}")
+    last_run_stats["projections_built"] = 0
+    last_run_stats["postfixes_copied"] = 0
+    members = list(members)
+    patterns: dict[RawSequence, int] = {}
+    item_counts = count_frequent_items(members, delta)
+    for item in sorted(item_counts):
+        pattern: RawSequence = ((item,),)
+        patterns[pattern] = item_counts[item]
+        projected = [
+            postfix
+            for _, seq in members
+            if (postfix := _project_sequence_ext(((), seq), item)) is not None
+        ]
+        last_run_stats["projections_built"] += 1
+        last_run_stats["postfixes_copied"] += len(projected)
+        _grow(pattern, projected, delta, patterns)
+    return patterns
+
+
+def _grow(
+    pattern: RawSequence,
+    projected: list[Postfix],
+    delta: int,
+    patterns: dict[RawSequence, int],
+) -> None:
+    """Count extensions in the projected database and recurse (depth-first)."""
+    if len(projected) < delta:
+        return
+    last_itemset = set(pattern[-1])
+    last_item = pattern[-1][-1]
+
+    seq_counts: dict[int, int] = {}
+    item_counts: dict[int, int] = {}
+    for partial, rest in projected:
+        seq_seen: set[int] = set()
+        item_seen: set[int] = set(partial)
+        for txn in rest:
+            seq_seen.update(txn)
+            if last_itemset.issubset(txn):
+                item_seen.update(item for item in txn if item > last_item)
+        for item in seq_seen:
+            seq_counts[item] = seq_counts.get(item, 0) + 1
+        for item in item_seen:
+            item_counts[item] = item_counts.get(item, 0) + 1
+
+    for item in sorted(item_counts):
+        if item_counts[item] < delta:
+            continue
+        grown = itemset_extension(pattern, item)
+        patterns[grown] = item_counts[item]
+        sub = [
+            postfix
+            for entry in projected
+            if (postfix := _project_itemset_ext(entry, last_itemset, item)) is not None
+        ]
+        last_run_stats["projections_built"] += 1
+        last_run_stats["postfixes_copied"] += len(sub)
+        _grow(grown, sub, delta, patterns)
+
+    for item in sorted(seq_counts):
+        if seq_counts[item] < delta:
+            continue
+        grown = sequence_extension(pattern, item)
+        patterns[grown] = seq_counts[item]
+        sub = [
+            postfix
+            for entry in projected
+            if (postfix := _project_sequence_ext(entry, item)) is not None
+        ]
+        last_run_stats["projections_built"] += 1
+        last_run_stats["postfixes_copied"] += len(sub)
+        _grow(grown, sub, delta, patterns)
+
+
+def _project_sequence_ext(entry: Postfix, item: int) -> Postfix | None:
+    """Project a postfix on a sequence extension by *item*."""
+    _, rest = entry
+    for index, txn in enumerate(rest):
+        pos = _position(txn, item)
+        if pos is not None:
+            return txn[pos + 1:], rest[index + 1:]
+    return None
+
+
+def _project_itemset_ext(
+    entry: Postfix, last_itemset: set[int], item: int
+) -> Postfix | None:
+    """Project a postfix on an itemset extension by *item*.
+
+    The new last itemset is ``last_itemset | {item}``; the leftmost host
+    is either the partial transaction (which already contains
+    *last_itemset* by construction) or a later transaction containing the
+    whole augmented itemset.
+    """
+    partial, rest = entry
+    pos = _position(partial, item)
+    if pos is not None:
+        return partial[pos + 1:], rest
+    for index, txn in enumerate(rest):
+        if item in txn and last_itemset.issubset(txn):
+            pos = _position(txn, item)
+            assert pos is not None
+            return txn[pos + 1:], rest[index + 1:]
+    return None
+
+
+def _position(txn: Transaction, item: int) -> int | None:
+    """Index of *item* in a sorted transaction, or None."""
+    lo, hi = 0, len(txn)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if txn[mid] < item:
+            lo = mid + 1
+        else:
+            hi = mid
+    if lo < len(txn) and txn[lo] == item:
+        return lo
+    return None

@@ -1,0 +1,153 @@
+"""PrefixSpan with pseudo-projection (system S15; the paper's "Pseudo").
+
+Same search as :mod:`repro.baselines.prefixspan`, but a projected
+database entry is a *pointer* ``(sequence_index, transaction_index,
+item_index)`` into the shared original database instead of a copied
+postfix — the mechanism that "links together all the customer sequences
+in a projection database" (Section 4.1).  Counting and projection read
+through the pointers, so no postfix is ever materialised; the trade-off
+is repeated traversal of the original sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.counting import count_frequent_items
+from repro.core.sequence import (
+    RawSequence,
+    Transaction,
+    itemset_extension,
+    sequence_extension,
+)
+
+#: A pseudo-projection pointer: (sequence index, transaction index of the
+#: match, item index of the matched item within that transaction).
+Pointer = tuple[int, int, int]
+
+
+def mine_pseudo_prefixspan(
+    members: Iterable[tuple[int, RawSequence]], delta: int
+) -> dict[RawSequence, int]:
+    """All frequent sequences with support >= *delta*, by Pseudo-PrefixSpan."""
+    if delta < 1:
+        raise ValueError(f"delta must be >= 1, got {delta}")
+    members = list(members)
+    sequences = [seq for _, seq in members]
+    patterns: dict[RawSequence, int] = {}
+    item_counts = count_frequent_items(members, delta)
+    for item in sorted(item_counts):
+        pattern: RawSequence = ((item,),)
+        patterns[pattern] = item_counts[item]
+        pointers = []
+        for si, seq in enumerate(sequences):
+            ptr = _find_sequence_ext(seq, si, -1, item)
+            if ptr is not None:
+                pointers.append(ptr)
+        _grow(pattern, pointers, sequences, delta, patterns)
+    return patterns
+
+
+def _grow(
+    pattern: RawSequence,
+    pointers: list[Pointer],
+    sequences: list[RawSequence],
+    delta: int,
+    patterns: dict[RawSequence, int],
+) -> None:
+    """Count extensions through the pointers and recurse (depth-first)."""
+    if len(pointers) < delta:
+        return
+    last_itemset = set(pattern[-1])
+    last_item = pattern[-1][-1]
+
+    seq_counts: dict[int, int] = {}
+    item_counts: dict[int, int] = {}
+    for si, ti, pi in pointers:
+        seq = sequences[si]
+        item_seen: set[int] = set(seq[ti][pi + 1:])
+        seq_seen: set[int] = set()
+        for txn in seq[ti + 1:]:
+            seq_seen.update(txn)
+            if last_itemset.issubset(txn):
+                item_seen.update(item for item in txn if item > last_item)
+        for item in seq_seen:
+            seq_counts[item] = seq_counts.get(item, 0) + 1
+        for item in item_seen:
+            item_counts[item] = item_counts.get(item, 0) + 1
+
+    for item in sorted(item_counts):
+        if item_counts[item] < delta:
+            continue
+        grown = itemset_extension(pattern, item)
+        patterns[grown] = item_counts[item]
+        sub = []
+        for ptr in pointers:
+            moved = _find_itemset_ext(sequences, ptr, last_itemset, item)
+            if moved is not None:
+                sub.append(moved)
+        _grow(grown, sub, sequences, delta, patterns)
+
+    for item in sorted(seq_counts):
+        if seq_counts[item] < delta:
+            continue
+        grown = sequence_extension(pattern, item)
+        patterns[grown] = seq_counts[item]
+        sub = []
+        for si, ti, _ in pointers:
+            moved = _find_sequence_ext(sequences[si], si, ti, item)
+            if moved is not None:
+                sub.append(moved)
+        _grow(grown, sub, sequences, delta, patterns)
+
+
+def _find_sequence_ext(
+    seq: RawSequence, si: int, after_txn: int, item: int
+) -> Pointer | None:
+    """Pointer to the first occurrence of *item* after transaction *after_txn*."""
+    for ti in range(after_txn + 1, len(seq)):
+        pi = _position(seq[ti], item)
+        if pi is not None:
+            return si, ti, pi
+    return None
+
+
+def _find_itemset_ext(
+    sequences: list[RawSequence],
+    pointer: Pointer,
+    last_itemset: set[int],
+    item: int,
+) -> Pointer | None:
+    """Pointer after an itemset extension by *item*.
+
+    The leftmost host is the matched transaction itself when *item*
+    appears after the matched position, else the first later transaction
+    containing the whole augmented itemset.
+    """
+    si, ti, pi = pointer
+    seq = sequences[si]
+    matched = seq[ti]
+    pos = _position(matched, item)
+    if pos is not None and pos > pi:
+        return si, ti, pos
+    for tj in range(ti + 1, len(seq)):
+        txn = seq[tj]
+        if item in txn and last_itemset.issubset(txn):
+            pos = _position(txn, item)
+            assert pos is not None
+            return si, tj, pos
+    return None
+
+
+def _position(txn: Transaction, item: int) -> int | None:
+    """Index of *item* in a sorted transaction, or None."""
+    lo, hi = 0, len(txn)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if txn[mid] < item:
+            lo = mid + 1
+        else:
+            hi = mid
+    if lo < len(txn) and txn[lo] == item:
+        return lo
+    return None

@@ -1,0 +1,125 @@
+"""SPAM (system S17; Ayres et al., KDD 2002).
+
+Depth-first pattern growth over *vertical bitmaps*: every item owns one
+bitmap with a bit per (customer, transaction) slot; a pattern's bitmap
+marks the transactions that can end one of its embeddings.
+
+* I-step (itemset extension): AND the pattern bitmap with the item bitmap.
+* S-step (sequence extension): *transform* the pattern bitmap — for each
+  customer, set every bit strictly after that customer's first set bit —
+  then AND with the item bitmap.
+
+Python's arbitrary-precision integers serve as the bitmaps, so the whole
+database must fit in memory — the very assumption the paper notes SPAM
+makes.  SPAM's S-/I-candidate pruning is applied: a child node only
+considers the items that survived at its parent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.sequence import RawSequence, itemset_extension, sequence_extension
+
+
+class _BitmapIndex:
+    """Vertical bitmap layout for one database."""
+
+    def __init__(self, members: list[tuple[int, RawSequence]]):
+        self.item_bitmaps: dict[int, int] = {}
+        #: per-customer (start_bit, num_transactions)
+        self.ranges: list[tuple[int, int]] = []
+        self.customer_masks: list[int] = []
+        bit = 0
+        for _, seq in members:
+            start = bit
+            for eid, txn in enumerate(seq):
+                for item in txn:
+                    self.item_bitmaps[item] = self.item_bitmaps.get(item, 0) | (
+                        1 << (start + eid)
+                    )
+            bit += len(seq)
+            self.ranges.append((start, len(seq)))
+            self.customer_masks.append(((1 << len(seq)) - 1) << start)
+
+    def support(self, bitmap: int) -> int:
+        """Number of customers with at least one set bit."""
+        return sum(1 for mask in self.customer_masks if bitmap & mask)
+
+    def s_transform(self, bitmap: int) -> int:
+        """Set every bit strictly after each customer's first set bit."""
+        result = 0
+        for start, size in self.ranges:
+            full = (1 << size) - 1
+            chunk = (bitmap >> start) & full
+            if chunk:
+                first = chunk & -chunk  # lowest set bit
+                result |= (full & ~((first << 1) - 1)) << start
+        return result
+
+
+def mine_spam(
+    members: Iterable[tuple[int, RawSequence]], delta: int
+) -> dict[RawSequence, int]:
+    """All frequent sequences with support >= *delta*, by SPAM."""
+    if delta < 1:
+        raise ValueError(f"delta must be >= 1, got {delta}")
+    index = _BitmapIndex(list(members))
+    patterns: dict[RawSequence, int] = {}
+    frequent_items = sorted(
+        item
+        for item, bitmap in index.item_bitmaps.items()
+        if index.support(bitmap) >= delta
+    )
+    for item in frequent_items:
+        bitmap = index.item_bitmaps[item]
+        pattern: RawSequence = ((item,),)
+        patterns[pattern] = index.support(bitmap)
+        _dfs(pattern, bitmap, frequent_items, frequent_items, index, delta, patterns)
+    return patterns
+
+
+def _dfs(
+    pattern: RawSequence,
+    bitmap: int,
+    s_items: list[int],
+    i_items: list[int],
+    index: _BitmapIndex,
+    delta: int,
+    patterns: dict[RawSequence, int],
+) -> None:
+    """Grow *pattern* depth-first with SPAM's S- and I-steps."""
+    transformed = index.s_transform(bitmap)
+    last_item = pattern[-1][-1]
+
+    surviving_s: list[tuple[int, int, int]] = []
+    for item in s_items:
+        grown_bitmap = transformed & index.item_bitmaps[item]
+        if not grown_bitmap:
+            continue
+        support = index.support(grown_bitmap)
+        if support >= delta:
+            surviving_s.append((item, grown_bitmap, support))
+
+    surviving_i: list[tuple[int, int, int]] = []
+    for item in i_items:
+        if item <= last_item:
+            continue
+        grown_bitmap = bitmap & index.item_bitmaps[item]
+        if not grown_bitmap:
+            continue
+        support = index.support(grown_bitmap)
+        if support >= delta:
+            surviving_i.append((item, grown_bitmap, support))
+
+    next_s = [item for item, _, _ in surviving_s]
+    for item, grown_bitmap, support in surviving_s:
+        grown = sequence_extension(pattern, item)
+        patterns[grown] = support
+        _dfs(grown, grown_bitmap, next_s, next_s, index, delta, patterns)
+
+    next_i = [item for item, _, _ in surviving_i]
+    for item, grown_bitmap, support in surviving_i:
+        grown = itemset_extension(pattern, item)
+        patterns[grown] = support
+        _dfs(grown, grown_bitmap, next_s, next_i, index, delta, patterns)

@@ -1,0 +1,6 @@
+"""Benchmark harness (system S21): regenerate every table and figure."""
+
+from repro.bench.harness import ExperimentResult, run_experiment
+from repro.bench.experiments import EXPERIMENTS
+
+__all__ = ["ExperimentResult", "run_experiment", "EXPERIMENTS"]

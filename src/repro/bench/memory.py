@@ -1,0 +1,37 @@
+"""Peak-memory measurement for the miners (system S21).
+
+Section 1.1 notes SPAM "is efficient under the assumption that all the
+bitmaps can be completely stored in the main memory" and that SPADE's
+lattice exists to bound memory.  This module measures each algorithm's
+peak allocation with :mod:`tracemalloc` so that trade-off is visible in
+the reproduction, not just asserted.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+from repro.db.database import SequenceDatabase
+from repro.mining.registry import get_algorithm
+
+
+def peak_memory_bytes(
+    db: SequenceDatabase, min_support: float | int, algorithm: str, **options
+) -> tuple[int, int]:
+    """(peak allocated bytes, number of patterns) for one mining run.
+
+    Only allocations made during the run are counted (the database
+    itself is excluded by resetting the baseline after materialising
+    the members list).
+    """
+    miner = get_algorithm(algorithm)
+    delta = db.delta_for(min_support)
+    members = db.members()
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        patterns = miner(members, delta, **options)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak, len(patterns)

@@ -1,0 +1,77 @@
+"""Empirical scaling analysis (system S21).
+
+Figure 8's claim is about growth: DISC-all's advantage over the
+projection miners widens with database size.  This module makes that
+quantitative by fitting power laws ``time = c * n^k`` to measured
+(size, time) points — a log-log least-squares fit — so the reproduction
+can report scaling *exponents* instead of eyeballed curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True, slots=True)
+class PowerLawFit:
+    """Result of a log-log least-squares fit of ``y = c * x**k``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Model value at *x*."""
+        return self.coefficient * x**self.exponent
+
+    def __str__(self) -> str:
+        return (
+            f"y = {self.coefficient:.4g} * x^{self.exponent:.3f} "
+            f"(R^2 = {self.r_squared:.4f})"
+        )
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = c * x**k`` through positive measurement points.
+
+    Needs at least two distinct x values; all coordinates must be
+    strictly positive (times and sizes always are).
+    """
+    if len(xs) != len(ys):
+        raise InvalidParameterError(
+            f"{len(xs)} x values but {len(ys)} y values"
+        )
+    if len(xs) < 2:
+        raise InvalidParameterError("need at least two points to fit")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if (x <= 0).any() or (y <= 0).any():
+        raise InvalidParameterError("power-law fit needs positive coordinates")
+    if np.unique(x).size < 2:
+        raise InvalidParameterError("need at least two distinct x values")
+    log_x, log_y = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residual = float(((log_y - predicted) ** 2).sum())
+    total = float(((log_y - log_y.mean()) ** 2).sum())
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(np.exp(intercept)),
+        r_squared=r_squared,
+    )
+
+
+def scaling_exponents(
+    sizes: Sequence[float], times_by_algorithm: dict[str, Sequence[float]]
+) -> dict[str, PowerLawFit]:
+    """Fit one power law per algorithm over a shared size axis."""
+    return {
+        algorithm: fit_power_law(sizes, times)
+        for algorithm, times in times_by_algorithm.items()
+    }

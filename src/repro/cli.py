@@ -1,0 +1,307 @@
+"""Command-line interface (system S22).
+
+Usage examples::
+
+    repro generate --ncust 1000 --slen 8 --nitems 400 --seed 1 -o db.spmf
+    repro mine db.spmf --min-support 0.01 --algorithm disc-all --top 20
+    repro experiment fig8 --scale repro
+    repro algorithms
+    repro stats db.spmf
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.harness import SCALES, run_experiment
+from repro.bench.experiments import EXPERIMENTS
+from repro.core.sequence import format_seq, seq_length
+from repro.datagen import QuestParams, generate
+from repro.db import io as dbio
+from repro.db.database import SequenceDatabase
+from repro.exceptions import ReproError
+from repro.mining.api import mine
+from repro.mining.registry import available_algorithms
+
+
+def _read_db(path: str) -> SequenceDatabase:
+    if path.endswith(".txt") or path.endswith(".paper"):
+        return dbio.read_paper(path)
+    return dbio.read_spmf(path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    params = QuestParams(
+        ncust=args.ncust,
+        slen=args.slen,
+        tlen=args.tlen,
+        nitems=args.nitems,
+        patlen=args.patlen,
+        npats=args.npats,
+        nlits=args.nlits,
+        litlen=args.litlen,
+        corr=args.corr,
+        seed=args.seed,
+    )
+    db = generate(params)
+    target = Path(args.output)
+    if target.suffix in (".txt", ".paper"):
+        dbio.write_paper(db, target)
+    else:
+        dbio.write_spmf(db, target)
+    stats = db.stats
+    print(
+        f"wrote {stats.num_sequences} sequences "
+        f"({stats.num_distinct_items} items, theta={stats.avg_transactions:.2f}, "
+        f"tlen={stats.avg_items_per_transaction:.2f}) to {target}"
+    )
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    db = _read_db(args.database)
+    min_support: float | int
+    if args.min_support >= 1:
+        min_support = int(args.min_support)
+    else:
+        min_support = args.min_support
+    result = mine(db, min_support, algorithm=args.algorithm)
+    print(result.summary())
+    if args.save:
+        from repro.mining.serialize import save_result
+
+        save_result(result, args.save)
+        print(f"saved {len(result)} patterns to {args.save}")
+    if args.tree:
+        print(result.render_tree())
+        return 0
+    shown = 0
+    for raw in result.sorted_patterns():
+        if args.min_length and seq_length(raw) < args.min_length:
+            continue
+        print(f"{result.patterns[raw]:6d}  {format_seq(raw)}")
+        shown += 1
+        if args.top and shown >= args.top:
+            break
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import json
+
+    names = list(EXPERIMENTS) if args.name == "all" else [args.name]
+    results = [run_experiment(name, scale=args.scale) for name in names]
+    if args.json:
+        print(json.dumps([result.to_dict() for result in results], indent=2))
+    elif args.markdown:
+        for result in results:
+            print(result.render_markdown())
+            print()
+    else:
+        for result in results:
+            print(result.render())
+            print()
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    from repro.ext.topk import mine_topk
+
+    db = _read_db(args.database)
+    ranked = mine_topk(db.members(), args.k, min_length=args.min_length)
+    for pattern, count in ranked:
+        print(f"{count:6d}  {format_seq(pattern)}")
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    from repro.ext.rules import generate_rules
+
+    db = _read_db(args.database)
+    min_support: float | int = (
+        int(args.min_support) if args.min_support >= 1 else args.min_support
+    )
+    result = mine(db, min_support, algorithm=args.algorithm)
+    rules = generate_rules(result.patterns, len(db), args.min_confidence)
+    print(f"{len(rules)} rules (conf >= {args.min_confidence}) "
+          f"from {len(result)} frequent sequences")
+    for rule in rules[: args.top or len(rules)]:
+        print(f"  {rule}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    db = _read_db(args.database)
+    min_support: float | int = (
+        int(args.min_support) if args.min_support >= 1 else args.min_support
+    )
+    baseline = mine(db, min_support, algorithm=args.baseline)
+    print(baseline.summary())
+    worst = 0
+    for name in args.algorithms:
+        result = mine(db, min_support, algorithm=name)
+        print(result.summary())
+        if not result.same_patterns(baseline):
+            worst = 1
+            diff = result.difference(baseline)
+            for kind, lines in diff.items():
+                for line in lines[:5]:
+                    print(f"  {kind}: {line}")
+    print("agreement:", "OK" if worst == 0 else "MISMATCH")
+    return worst
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.mining.verify import verify_patterns
+
+    db = _read_db(args.database)
+    min_support: float | int = (
+        int(args.min_support) if args.min_support >= 1 else args.min_support
+    )
+    result = mine(db, min_support, algorithm=args.algorithm)
+    print(result.summary())
+    report = verify_patterns(
+        result.patterns,
+        list(db.sequences),
+        result.delta,
+        sample=args.sample,
+    )
+    print(report.summary())
+    for error in report.errors:
+        print(f"  {error}")
+    return 0 if report.ok else 1
+
+
+def _cmd_algorithms(_args: argparse.Namespace) -> int:
+    for name in available_algorithms():
+        print(name)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    db = _read_db(args.database)
+    stats = db.stats
+    print(f"sequences:            {stats.num_sequences}")
+    print(f"distinct items:       {stats.num_distinct_items}")
+    print(f"total transactions:   {stats.total_transactions}")
+    print(f"total items:          {stats.total_items}")
+    print(f"avg transactions:     {stats.avg_transactions:.3f}")
+    print(f"avg items/transaction:{stats.avg_items_per_transaction:.3f}")
+    print(f"max sequence length:  {stats.max_length}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DISC sequential pattern mining (ICDE 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a Quest-style database")
+    gen.add_argument("--ncust", type=int, default=1000)
+    gen.add_argument("--slen", type=float, default=10.0)
+    gen.add_argument("--tlen", type=float, default=2.5)
+    gen.add_argument("--nitems", type=int, default=1000)
+    gen.add_argument("--patlen", type=float, default=4.0)
+    gen.add_argument("--npats", type=int, default=500)
+    gen.add_argument("--nlits", type=int, default=1000)
+    gen.add_argument("--litlen", type=float, default=1.25)
+    gen.add_argument("--corr", type=float, default=0.25)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True, help=".spmf or .txt")
+    gen.set_defaults(func=_cmd_generate)
+
+    mine_cmd = sub.add_parser("mine", help="mine frequent sequences")
+    mine_cmd.add_argument("database", help="input file (.spmf or .txt)")
+    mine_cmd.add_argument(
+        "--min-support", type=float, required=True,
+        help="fraction (<1) of sequences or absolute count (>=1)",
+    )
+    mine_cmd.add_argument(
+        "--algorithm", default="disc-all", choices=available_algorithms()
+    )
+    mine_cmd.add_argument("--top", type=int, default=0, help="show at most N patterns")
+    mine_cmd.add_argument("--min-length", type=int, default=0)
+    mine_cmd.add_argument("--save", default="", help="write the result as JSON")
+    mine_cmd.add_argument("--tree", action="store_true",
+                          help="render patterns as an indented prefix tree")
+    mine_cmd.set_defaults(func=_cmd_mine)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=[*sorted(EXPERIMENTS), "all"])
+    exp.add_argument("--scale", default="repro", choices=sorted(SCALES))
+    exp.add_argument("--json", action="store_true",
+                     help="emit machine-readable JSON instead of tables")
+    exp.add_argument("--markdown", action="store_true",
+                     help="emit markdown tables (EXPERIMENTS.md style)")
+    exp.set_defaults(func=_cmd_experiment)
+
+    topk = sub.add_parser("topk", help="the k most frequent sequences")
+    topk.add_argument("database")
+    topk.add_argument("-k", type=int, default=10)
+    topk.add_argument("--min-length", type=int, default=1)
+    topk.set_defaults(func=_cmd_topk)
+
+    rules = sub.add_parser("rules", help="mine and derive sequential rules")
+    rules.add_argument("database")
+    rules.add_argument("--min-support", type=float, required=True)
+    rules.add_argument("--min-confidence", type=float, default=0.5)
+    rules.add_argument("--algorithm", default="disc-all",
+                       choices=available_algorithms())
+    rules.add_argument("--top", type=int, default=20)
+    rules.set_defaults(func=_cmd_rules)
+
+    compare = sub.add_parser(
+        "compare", help="check that several algorithms return identical patterns"
+    )
+    compare.add_argument("database")
+    compare.add_argument("--min-support", type=float, required=True)
+    compare.add_argument("--baseline", default="bruteforce")
+    compare.add_argument(
+        "--algorithms", nargs="+",
+        default=["disc-all", "dynamic-disc-all", "prefixspan", "pseudo"],
+        help="algorithms to compare against the baseline",
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+    verify = sub.add_parser(
+        "verify", help="independently verify a mining run's output"
+    )
+    verify.add_argument("database")
+    verify.add_argument("--min-support", type=float, required=True)
+    verify.add_argument("--algorithm", default="disc-all",
+                        choices=available_algorithms())
+    verify.add_argument("--sample", type=int, default=200,
+                        help="patterns to recount (default 200)")
+    verify.set_defaults(func=_cmd_verify)
+
+    algos = sub.add_parser("algorithms", help="list registered algorithms")
+    algos.set_defaults(func=_cmd_algorithms)
+
+    stats = sub.add_parser("stats", help="summarise a database file")
+    stats.add_argument("database")
+    stats.set_defaults(func=_cmd_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

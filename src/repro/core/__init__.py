@@ -1,0 +1,21 @@
+"""The paper's primary contribution: the DISC strategy and DISC-all.
+
+Submodules
+----------
+
+- :mod:`repro.core.sequence` — sequence data model (S1)
+- :mod:`repro.core.order` — comparative order, Definitions 2.1/2.2 (S2)
+- :mod:`repro.core.kminimum` — (conditional) k-minimum subsequences (S3)
+- :mod:`repro.core.avl` — locative AVL tree (S4)
+- :mod:`repro.core.sorted_db` — the k-sorted database (S5)
+- :mod:`repro.core.counting` — counting arrays (S6)
+- :mod:`repro.core.disc` — frequent k-sequence discovery (S7)
+- :mod:`repro.core.partition` — multi-level partitioning (S8)
+- :mod:`repro.core.discall` — the DISC-all algorithm (S9)
+- :mod:`repro.core.nrr` — non-reduction-rate instrumentation (S10)
+- :mod:`repro.core.dynamic` — the Dynamic DISC-all algorithm (S11)
+"""
+
+from repro.core.sequence import Sequence
+
+__all__ = ["Sequence"]

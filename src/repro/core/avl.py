@@ -1,0 +1,254 @@
+"""Locative AVL tree (system S4; Section 3.2).
+
+The k-sorted database must support three operations efficiently:
+
+* find the smallest key (the candidate k-sequence, alpha_1);
+* find the key holding the delta-th entry in sorted order (the condition
+  k-sequence, alpha_delta) — the paper's *locative* access;
+* remove the group of customer sequences sharing a key and re-insert them
+  under their new conditional k-minimum subsequences.
+
+This module implements an AVL tree whose nodes carry a *bucket* of entries
+per distinct key plus the total number of entries in their subtree, giving
+O(log n) rank selection (``key_at_rank``) alongside the usual balanced
+insert/delete.  Keys are any totally ordered values; the k-sorted database
+uses flattened sequences (see :mod:`repro.core.order`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterator, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class _Node(Generic[K, V]):
+    __slots__ = ("key", "bucket", "left", "right", "height", "count")
+
+    def __init__(self, key: K, value: V):
+        self.key = key
+        self.bucket: list[V] = [value]
+        self.left: _Node[K, V] | None = None
+        self.right: _Node[K, V] | None = None
+        self.height = 1
+        self.count = 1  # total entries (bucket sizes) in this subtree
+
+
+def _height(node: _Node | None) -> int:
+    return node.height if node is not None else 0
+
+
+def _count(node: _Node | None) -> int:
+    return node.count if node is not None else 0
+
+
+def _refresh(node: _Node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+    node.count = len(node.bucket) + _count(node.left) + _count(node.right)
+
+
+def _rotate_right(node: _Node) -> _Node:
+    pivot = node.left
+    assert pivot is not None
+    node.left = pivot.right
+    pivot.right = node
+    _refresh(node)
+    _refresh(pivot)
+    return pivot
+
+
+def _rotate_left(node: _Node) -> _Node:
+    pivot = node.right
+    assert pivot is not None
+    node.right = pivot.left
+    pivot.left = node
+    _refresh(node)
+    _refresh(pivot)
+    return pivot
+
+
+def _balance(node: _Node) -> _Node:
+    _refresh(node)
+    tilt = _height(node.left) - _height(node.right)
+    if tilt > 1:
+        assert node.left is not None
+        if _height(node.left.left) < _height(node.left.right):
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if tilt < -1:
+        assert node.right is not None
+        if _height(node.right.right) < _height(node.right.left):
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class LocativeAVLTree(Generic[K, V]):
+    """Order-statistic AVL tree with per-key entry buckets.
+
+    Entries inserted under equal keys accumulate in one node's bucket in
+    insertion order.  ``len`` counts entries, ``num_keys`` counts distinct
+    keys.
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node[K, V] | None = None
+
+    def __len__(self) -> int:
+        return _count(self._root)
+
+    @property
+    def num_keys(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __bool__(self) -> bool:
+        return self._root is not None
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert(self, key: K, value: V) -> None:
+        """Insert *value* under *key* in O(log n)."""
+        self._root = self._insert(self._root, key, value)
+
+    def _insert(self, node: _Node[K, V] | None, key: K, value: V) -> _Node[K, V]:
+        if node is None:
+            return _Node(key, value)
+        if key == node.key:
+            node.bucket.append(value)
+            node.count += 1
+            return node
+        if key < node.key:  # type: ignore[operator]
+            node.left = self._insert(node.left, key, value)
+        else:
+            node.right = self._insert(node.right, key, value)
+        return _balance(node)
+
+    # -- lookup ------------------------------------------------------------
+
+    def min_key(self) -> K:
+        """Smallest key in the tree; raises KeyError when empty."""
+        node = self._root
+        if node is None:
+            raise KeyError("tree is empty")
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def min_bucket(self) -> tuple[K, list[V]]:
+        """Smallest key with its bucket (not removed)."""
+        node = self._root
+        if node is None:
+            raise KeyError("tree is empty")
+        while node.left is not None:
+            node = node.left
+        return node.key, node.bucket
+
+    def key_at_rank(self, rank: int) -> K:
+        """Key holding the *rank*-th entry (1-based) in sorted order.
+
+        Ranks count individual entries, not keys: with buckets of sizes
+        2 and 3 under keys A < B, ranks 1-2 map to A and ranks 3-5 to B.
+        This is the paper's locative access for alpha_delta.
+        """
+        if rank < 1 or rank > len(self):
+            raise IndexError(f"rank {rank} out of range 1..{len(self)}")
+        node = self._root
+        while node is not None:
+            left = _count(node.left)
+            if rank <= left:
+                node = node.left
+            elif rank <= left + len(node.bucket):
+                return node.key
+            else:
+                rank -= left + len(node.bucket)
+                node = node.right
+        raise AssertionError("rank descent fell off the tree")
+
+    def get(self, key: K) -> list[V] | None:
+        """Bucket stored under *key*, or None."""
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node.bucket
+            node = node.left if key < node.key else node.right  # type: ignore[operator]
+        return None
+
+    # -- removal -----------------------------------------------------------
+
+    def pop_min_bucket(self) -> tuple[K, list[V]]:
+        """Remove and return the smallest key with its whole bucket."""
+        if self._root is None:
+            raise KeyError("tree is empty")
+        popped: list[tuple[K, list[V]]] = []
+        self._root = self._pop_min(self._root, popped)
+        return popped[0]
+
+    def _pop_min(
+        self, node: _Node[K, V], popped: list[tuple[K, list[V]]]
+    ) -> _Node[K, V] | None:
+        if node.left is None:
+            popped.append((node.key, node.bucket))
+            return node.right
+        node.left = self._pop_min(node.left, popped)
+        return _balance(node)
+
+    def pop_while_less(self, bound: K) -> list[tuple[K, list[V]]]:
+        """Remove every bucket with key < *bound*; returns them ascending."""
+        removed: list[tuple[K, list[V]]] = []
+        while self._root is not None:
+            node = self._root
+            while node.left is not None:
+                node = node.left
+            if not (node.key < bound):  # type: ignore[operator]
+                break
+            removed.append(self.pop_min_bucket())
+        return removed
+
+    # -- iteration ---------------------------------------------------------
+
+    def keys(self) -> Iterator[K]:
+        """Distinct keys in ascending order."""
+        yield from (key for key, _ in self.items())
+
+    def items(self) -> Iterator[tuple[K, list[V]]]:
+        """(key, bucket) pairs in ascending key order."""
+        stack: list[_Node[K, V]] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.bucket
+            node = node.right
+
+    def entries(self) -> Iterator[V]:
+        """Every entry in ascending key order (bucket order within a key)."""
+        for _, bucket in self.items():
+            yield from bucket
+
+    # -- invariants (used by the tests) -------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert AVL balance, ordering and count bookkeeping everywhere."""
+        self._check(self._root, None, None)
+
+    def _check(self, node: _Node[K, V] | None, lo: Any, hi: Any) -> tuple[int, int]:
+        if node is None:
+            return 0, 0
+        if lo is not None and not (lo < node.key):  # type: ignore[operator]
+            raise AssertionError(f"key {node.key!r} violates lower bound {lo!r}")
+        if hi is not None and not (node.key < hi):  # type: ignore[operator]
+            raise AssertionError(f"key {node.key!r} violates upper bound {hi!r}")
+        if not node.bucket:
+            raise AssertionError(f"empty bucket at key {node.key!r}")
+        lh, lc = self._check(node.left, lo, node.key)
+        rh, rc = self._check(node.right, node.key, hi)
+        if abs(lh - rh) > 1:
+            raise AssertionError(f"unbalanced at key {node.key!r}")
+        height = 1 + max(lh, rh)
+        count = len(node.bucket) + lc + rc
+        if node.height != height or node.count != count:
+            raise AssertionError(f"stale bookkeeping at key {node.key!r}")
+        return height, count

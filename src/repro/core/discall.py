@@ -1,0 +1,171 @@
+"""The DISC-all algorithm (system S9; Section 3, Figure 2).
+
+DISC-all combines the four strategies of Table 5:
+
+1. *Candidate sequence pruning* — Apriori-KMS/CKMS only consider
+   k-sequences whose (k-1)-prefix is frequent;
+2. *Database partitioning* — two-level partitioning by minimum 1- and
+   2-sequences;
+3. *Customer sequence reducing* — non-frequent 1-/2-sequences are removed
+   before the second level;
+4. *DISC* — from length 4 on, frequent sequences are discovered by direct
+   sequence comparison, without counting non-frequent candidates.
+
+The ``bilevel`` flag enables the virtual-partition counting of Section 3.2
+(one discovery pass yields lengths k and k+1); it is on by default, as in
+the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.counting import CountingArray, count_frequent_items
+from repro.core.disc import discover_frequent_k
+from repro.core.kminimum import SortedFrequentList
+from repro.core.partition import (
+    Member,
+    iterate_first_level,
+    iterate_second_level,
+    reduce_sequence,
+)
+from repro.core.sequence import RawSequence, seq_length
+
+
+@dataclass(slots=True)
+class DiscAllStats:
+    """Execution counters exposed for the ablation studies."""
+
+    first_level_partitions: int = 0
+    second_level_partitions: int = 0
+    disc_rounds: int = 0
+    disc_comparisons: int = 0
+    reduced_members: int = 0
+
+
+@dataclass(slots=True)
+class DiscAllOutput:
+    """Frequent pattern map plus execution statistics."""
+
+    patterns: dict[RawSequence, int] = field(default_factory=dict)
+    stats: DiscAllStats = field(default_factory=DiscAllStats)
+
+
+def disc_all(
+    members: Iterable[Member],
+    delta: int,
+    bilevel: bool = True,
+    reduce: bool = True,
+    backend: str = "table",
+) -> DiscAllOutput:
+    """Mine every frequent sequence with the DISC-all algorithm.
+
+    *members* are ``(cid, sequence)`` pairs; *delta* is the minimum
+    support count (a pattern is frequent when support >= delta).  *reduce*
+    can disable customer sequence reducing and *backend* swaps the
+    k-sorted-database index, both for the ablation benchmarks.
+    Returns the pattern -> support map and execution statistics.
+    """
+    if delta < 1:
+        raise ValueError(f"delta must be >= 1, got {delta}")
+    members = list(members)
+    out = DiscAllOutput()
+
+    # Step 1(a): one scan finds the frequent 1-sequences.
+    frequent_items = count_frequent_items(members, delta)
+    for item, count in frequent_items.items():
+        out.patterns[((item,),)] = count
+    item_set = frozenset(frequent_items)
+
+    # Steps 1(b)-2.2: first-level partitions in ascending order.
+    for lam, group in iterate_first_level(members):
+        if lam not in frequent_items:
+            continue  # Step 2.1 guard: mine only frequent partition keys
+        out.stats.first_level_partitions += 1
+        _process_first_level(lam, group, delta, item_set, bilevel, reduce, backend, out)
+    return out
+
+
+def _process_first_level(
+    lam: int,
+    group: list[Member],
+    delta: int,
+    frequent_items: frozenset[int],
+    bilevel: bool,
+    reduce: bool,
+    backend: str,
+    out: DiscAllOutput,
+) -> None:
+    """Steps 2.1.1-2.1.3: one <(lam)>-partition."""
+    anchor: RawSequence = ((lam,),)
+
+    # Step 2.1.1: frequent 2-sequences via the counting array (Figure 3).
+    array = CountingArray(anchor)
+    array.observe_all(group)
+    frequent_pairs = set()
+    for pattern, count in array.frequent(delta):
+        out.patterns[pattern] = count
+    for pair, count in array.counts().items():
+        if count >= delta:
+            frequent_pairs.add(pair)
+
+    # Step 2.1.2: reduce sequences and build second-level partitions.
+    reduced: list[Member] = []
+    for cid, seq in group:
+        if reduce:
+            shorter = reduce_sequence(seq, lam, frequent_items, frequent_pairs)
+        else:
+            shorter = seq if seq_length(seq) >= 3 else None
+        if shorter is not None:
+            reduced.append((cid, shorter))
+    out.stats.reduced_members += len(reduced)
+
+    # Step 2.1.3: second-level partitions in ascending order.  Only
+    # frequent 2-sequence keys can yield longer frequent sequences.
+    for key, sp_group in iterate_second_level(reduced, lam, frequent_pairs):
+        out.stats.second_level_partitions += 1
+        _process_second_level(key, sp_group, delta, bilevel, backend, out)
+
+
+def _process_second_level(
+    key: RawSequence,
+    sp_group: list[Member],
+    delta: int,
+    bilevel: bool,
+    backend: str,
+    out: DiscAllOutput,
+) -> None:
+    """Steps 2.1.3.1-2.1.3.2: one <(lam1 lam2)>-partition."""
+    if len(sp_group) < delta:
+        return
+
+    # Step 2.1.3.1: frequent 3-sequences via the counting array.
+    array = CountingArray(key)
+    array.observe_all(sp_group)
+    frequent_k = {pattern: count for pattern, count in array.frequent(delta)}
+    for pattern, count in frequent_k.items():
+        out.patterns[pattern] = count
+
+    # Step 2.1.3.2: DISC from k = 4 (stepping by 2 under bi-level).
+    k = 4
+    while frequent_k:
+        flist = SortedFrequentList(frequent_k)
+        eligible = [(cid, seq) for cid, seq in sp_group if seq_length(seq) >= k]
+        if len(eligible) < delta:
+            break
+        out.stats.disc_rounds += 1
+        result = discover_frequent_k(
+            eligible, flist, delta, bilevel=bilevel, backend=backend
+        )
+        out.stats.disc_comparisons += result.comparisons
+        for pattern, count in result.frequent_k.items():
+            out.patterns[pattern] = count
+        if bilevel:
+            for pattern, count in result.frequent_k_plus_1.items():
+                out.patterns[pattern] = count
+            frequent_k = result.frequent_k_plus_1
+            k += 2
+        else:
+            frequent_k = result.frequent_k
+            k += 1

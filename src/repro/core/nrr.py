@@ -1,0 +1,93 @@
+"""Non-reduction-rate instrumentation (system S10; Section 4.2, eq. (2)).
+
+The NRR of a partition Q is the average, over Q's child partitions p, of
+``size(p) / size(Q)``.  Following the paper, the size of a child partition
+is taken to be the support count of the frequent (k+1)-sequence that keys
+it.  Levels are numbered as in Table 12: level 0 is the original database
+(children keyed by frequent 1-sequences), level 1 the first-level
+partitions (children keyed by frequent 2-sequences), and so on; from the
+level where the DISC strategy takes over, the "partitions" are the virtual
+partitions of declared frequent k-sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.sequence import RawSequence, flatten, seq_length
+
+
+@dataclass(slots=True)
+class NRRCollector:
+    """Accumulates per-partition NRR values grouped by level."""
+
+    #: level -> list of per-partition NRR values
+    samples: dict[int, list[float]] = field(default_factory=dict)
+
+    def record(self, level: int, parent_size: int, child_sizes: Iterable[int]) -> float | None:
+        """Record one partition's NRR; returns it (None when no children).
+
+        Partitions without frequent children contribute no sample — the
+        paper's formula divides by the number of child partitions, which
+        would be zero.
+        """
+        sizes = list(child_sizes)
+        if not sizes or parent_size <= 0:
+            return None
+        nrr = sum(size / parent_size for size in sizes) / len(sizes)
+        self.samples.setdefault(level, []).append(nrr)
+        return nrr
+
+    def average(self, level: int) -> float | None:
+        """Average NRR of all partitions recorded at *level* (Table 12)."""
+        values = self.samples.get(level)
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def averages(self) -> dict[int, float]:
+        """Average NRR per level, for every level with samples."""
+        return {
+            level: avg
+            for level in sorted(self.samples)
+            if (avg := self.average(level)) is not None
+        }
+
+    @property
+    def max_level(self) -> int:
+        """Deepest level with at least one sample (-1 when empty)."""
+        return max(self.samples, default=-1)
+
+
+def compute_nrr_profile(
+    patterns: dict[RawSequence, int], db_size: int
+) -> NRRCollector:
+    """Per-level NRR profile from a mining result (Tables 12 and 14).
+
+    Following Section 4.2, the partition keyed by a frequent j-sequence
+    has size equal to that sequence's support count, and its child
+    partitions are the frequent (j+1)-sequences extending it (one more
+    item appended, i.e. the j-prefix equals the key); the original
+    database is the single level-0 partition with the frequent
+    1-sequences as children.  The profile is computable from any miner's
+    pattern -> support map, which keeps the instrumentation independent
+    of the algorithm that produced it.
+    """
+    collector = NRRCollector()
+    by_prefix: dict[tuple, list[int]] = {}
+    lengths: dict[RawSequence, int] = {}
+    for pattern, count in patterns.items():
+        length = seq_length(pattern)
+        lengths[pattern] = length
+        if length == 1:
+            by_prefix.setdefault((), []).append(count)
+        else:
+            prefix_key = flatten(pattern)[:-1]
+            by_prefix.setdefault(prefix_key, []).append(count)
+    collector.record(0, db_size, by_prefix.get((), []))
+    for pattern, length in lengths.items():
+        children = by_prefix.get(flatten(pattern))
+        if children:
+            collector.record(length, patterns[pattern], children)
+    return collector

@@ -1,0 +1,379 @@
+"""Sequence data model (system S1).
+
+A *raw sequence* is the internal representation used throughout the mining
+code: a tuple of transactions, each transaction a tuple of integer items.
+The canonical form sorts each transaction's items in increasing order and
+forbids empty transactions and duplicate items within a transaction; every
+database and every pattern handled by the miners is canonical.
+
+The low-level operations in this module deliberately preserve the item
+order *as given* instead of re-sorting, because the paper's Examples 2.1
+and 2.2 apply the comparative order to itemsets written in non-alphabetic
+order.  For canonical input the two behaviours coincide.
+
+The :class:`Sequence` class is the friendly public wrapper around a raw
+sequence; the functional API below is what the algorithms use internally.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from typing import Iterable, Iterator
+
+from repro.exceptions import InvalidSequenceError
+
+#: A transaction: items bought together, canonical form sorted ascending.
+Transaction = tuple[int, ...]
+#: A raw sequence: ordered transactions of a single customer.
+RawSequence = tuple[Transaction, ...]
+#: Flattened view: one (item, transaction_number) pair per item occurrence,
+#: transaction numbers starting at 1 (Section 2 of the paper).
+FlatSequence = tuple[tuple[int, int], ...]
+
+EMPTY: RawSequence = ()
+
+
+def canonical(itemsets: Iterable[Iterable[int]]) -> RawSequence:
+    """Build a canonical raw sequence: each itemset sorted and de-duplicated.
+
+    Raises :class:`InvalidSequenceError` on empty itemsets or non-integer
+    items.
+    """
+    transactions = []
+    for itemset in itemsets:
+        items = set(itemset)
+        for item in items:
+            if not isinstance(item, int) or isinstance(item, bool):
+                raise InvalidSequenceError(f"non-integer item {item!r}")
+        if not items:
+            raise InvalidSequenceError("empty itemset in sequence")
+        transactions.append(tuple(sorted(items)))
+    return tuple(transactions)
+
+
+def validate(seq: RawSequence) -> None:
+    """Raise :class:`InvalidSequenceError` unless *seq* is canonical."""
+    if not isinstance(seq, tuple):
+        raise InvalidSequenceError(f"sequence must be a tuple, got {type(seq)}")
+    for txn in seq:
+        if not isinstance(txn, tuple) or not txn:
+            raise InvalidSequenceError(f"invalid transaction {txn!r}")
+        for prev, cur in zip(txn, txn[1:]):
+            if prev >= cur:
+                raise InvalidSequenceError(
+                    f"transaction {txn!r} is not strictly increasing"
+                )
+        for item in txn:
+            if not isinstance(item, int):
+                raise InvalidSequenceError(f"non-integer item {item!r}")
+
+
+def seq_length(seq: RawSequence) -> int:
+    """Total number of item occurrences (the paper's *length*)."""
+    return sum(len(txn) for txn in seq)
+
+
+def flatten(seq: RawSequence) -> FlatSequence:
+    """Flattened (item, transaction_number) view, numbers starting at 1."""
+    return tuple(
+        (item, no)
+        for no, txn in enumerate(seq, start=1)
+        for item in txn
+    )
+
+
+def unflatten(flat: FlatSequence) -> RawSequence:
+    """Rebuild a raw sequence from its flattened view.
+
+    Transaction numbers must be non-decreasing; gaps are tolerated (they
+    occur when taking flat prefixes) and are compacted away.
+    """
+    transactions: list[list[int]] = []
+    last_no: int | None = None
+    for item, no in flat:
+        if last_no is not None and no < last_no:
+            raise InvalidSequenceError("transaction numbers must not decrease")
+        if no != last_no:
+            transactions.append([])
+            last_no = no
+        transactions[-1].append(item)
+    return tuple(tuple(txn) for txn in transactions)
+
+
+def k_prefix(seq: RawSequence, k: int) -> RawSequence:
+    """The prefix of *seq* with length *k* (first k flattened items).
+
+    Example from the paper: the 3-prefix of <(a)(a,g,h)(c)> is <(a)(a,g)>.
+    """
+    if k < 0:
+        raise InvalidSequenceError(f"prefix length must be >= 0, got {k}")
+    if k == 0:
+        return EMPTY
+    taken = 0
+    transactions: list[Transaction] = []
+    for txn in seq:
+        remaining = k - taken
+        if remaining <= 0:
+            break
+        if len(txn) <= remaining:
+            transactions.append(txn)
+            taken += len(txn)
+        else:
+            transactions.append(txn[:remaining])
+            taken = k
+    if taken < k:
+        raise InvalidSequenceError(
+            f"sequence of length {taken} has no {k}-prefix"
+        )
+    return tuple(transactions)
+
+
+def _is_subset_sorted(sub: Transaction, sup: Transaction) -> bool:
+    """Two-pointer subset test for sorted transactions."""
+    if len(sub) > len(sup):
+        return False
+    i = 0
+    n = len(sup)
+    for item in sub:
+        while i < n and sup[i] < item:
+            i += 1
+        if i >= n or sup[i] != item:
+            return False
+        i += 1
+    return True
+
+
+def leftmost_match(big: RawSequence, small: RawSequence) -> tuple[int, ...] | None:
+    """Greedy leftmost embedding of *small* into *big*.
+
+    Returns the 0-based transaction indices of *big* hosting each itemset of
+    *small*, or ``None`` when *big* does not contain *small*.  The greedy
+    embedding minimises every matched transaction index, in particular the
+    last one — the *matching point* used by Apriori-KMS (Figure 5).
+    """
+    indices: list[int] = []
+    pos = 0
+    for itemset in small:
+        while pos < len(big) and not _is_subset_sorted(itemset, big[pos]):
+            pos += 1
+        if pos >= len(big):
+            return None
+        indices.append(pos)
+        pos += 1
+    return tuple(indices)
+
+
+def contains(big: RawSequence, small: RawSequence) -> bool:
+    """True when *big* contains *small* as a subsequence (Section 1)."""
+    return leftmost_match(big, small) is not None
+
+
+def support_count(database: Iterable[RawSequence], pattern: RawSequence) -> int:
+    """Number of customer sequences in *database* containing *pattern*."""
+    return sum(1 for seq in database if contains(seq, pattern))
+
+
+def all_k_subsequences(seq: RawSequence, k: int) -> set[RawSequence]:
+    """Every distinct k-subsequence of *seq* (exponential; tests only).
+
+    Item order within each transaction is preserved as given, matching the
+    paper's treatment in Example 2.2.
+    """
+    if k <= 0:
+        return set()
+    results: set[RawSequence] = set()
+
+    def extend(txn_index: int, remaining: int, acc: tuple[Transaction, ...]) -> None:
+        if remaining == 0:
+            results.add(acc)
+            return
+        if txn_index >= len(seq):
+            return
+        txn = seq[txn_index]
+        # Either skip this transaction entirely...
+        extend(txn_index + 1, remaining, acc)
+        # ...or take a non-empty subset (preserving order) from it.
+        max_take = min(remaining, len(txn))
+        for take in range(1, max_take + 1):
+            for combo in itertools.combinations(txn, take):
+                extend(txn_index + 1, remaining - take, acc + (combo,))
+
+    extend(0, k, ())
+    return results
+
+
+def itemset_extension(seq: RawSequence, item: int) -> RawSequence:
+    """Append *item* to the last transaction (canonical position).
+
+    The item must be greater than the last transaction's final item so the
+    result stays canonical and has *seq* as its (k-1)-prefix.
+    """
+    if not seq:
+        raise InvalidSequenceError("cannot itemset-extend the empty sequence")
+    last = seq[-1]
+    if item <= last[-1]:
+        raise InvalidSequenceError(
+            f"itemset extension item {item} must exceed {last[-1]}"
+        )
+    return seq[:-1] + (last + (item,),)
+
+
+def sequence_extension(seq: RawSequence, item: int) -> RawSequence:
+    """Append a new transaction containing only *item*."""
+    return seq + ((item,),)
+
+
+# ---------------------------------------------------------------------------
+# Text parsing / formatting.  Single-letter tokens map to 1..26 so the
+# paper's examples read naturally; integer tokens pass through.
+# ---------------------------------------------------------------------------
+
+_LETTER_BASE = ord("a") - 1
+
+
+def parse(text: str) -> RawSequence:
+    """Parse ``"(a, e, g)(b)(h)"`` into a canonical raw sequence.
+
+    Tokens may be single lowercase letters (mapped to 1..26) or decimal
+    integers.  Raises :class:`InvalidSequenceError` on malformed text.
+    """
+    text = text.strip()
+    if text in ("", "<>", "()"):
+        return EMPTY
+    if text.startswith("<") and text.endswith(">"):
+        text = text[1:-1].strip()
+    if not text.startswith("(") or not text.endswith(")"):
+        raise InvalidSequenceError(f"malformed sequence text {text!r}")
+    itemsets: list[list[int]] = []
+    for chunk in text[1:-1].split(")("):
+        items: list[int] = []
+        for token in chunk.split(","):
+            token = token.strip()
+            if not token:
+                raise InvalidSequenceError(f"empty item token in {text!r}")
+            if token.isdigit():
+                items.append(int(token))
+            elif len(token) == 1 and token.isalpha():
+                items.append(ord(token.lower()) - _LETTER_BASE)
+            else:
+                raise InvalidSequenceError(f"bad item token {token!r}")
+        itemsets.append(items)
+    return canonical(itemsets)
+
+
+def format_seq(seq: RawSequence, letters: bool | None = None) -> str:
+    """Format a raw sequence as ``<(a, e, g)(b)>``.
+
+    When *letters* is None, letters are used iff every item fits in 1..26.
+    """
+    if not seq:
+        return "<>"
+    if letters is None:
+        letters = all(1 <= item <= 26 for txn in seq for item in txn)
+
+    def fmt(item: int) -> str:
+        return chr(item + _LETTER_BASE) if letters else str(item)
+
+    return "<" + "".join(
+        "(" + ", ".join(fmt(item) for item in txn) + ")" for txn in seq
+    ) + ">"
+
+
+@functools.total_ordering
+class Sequence:
+    """Public, immutable wrapper around a canonical raw sequence.
+
+    Supports the paper's comparative order (Definition 2.2) via the usual
+    comparison operators, containment via ``in``, and convenient parsing:
+
+    >>> Sequence.of("(a, b)(c)") < Sequence.of("(a)(b, c)")
+    True
+    >>> Sequence.of("(a)(b)") in Sequence.of("(a, e, g)(b)")
+    True
+    """
+
+    __slots__ = ("_raw", "_flat", "_hash")
+
+    def __init__(self, itemsets: Iterable[Iterable[int]]):
+        self._raw = canonical(itemsets)
+        self._flat = flatten(self._raw)
+        self._hash = hash(self._raw)
+
+    @classmethod
+    def of(cls, text: str) -> "Sequence":
+        """Parse a sequence from text such as ``"(a, b)(c)"``."""
+        return cls.from_raw(parse(text))
+
+    @classmethod
+    def from_raw(cls, raw: RawSequence) -> "Sequence":
+        """Wrap an already-canonical raw sequence without copying."""
+        obj = cls.__new__(cls)
+        validate(raw)
+        obj._raw = raw
+        obj._flat = flatten(raw)
+        obj._hash = hash(raw)
+        return obj
+
+    @property
+    def raw(self) -> RawSequence:
+        """The underlying raw tuple-of-tuples."""
+        return self._raw
+
+    @property
+    def flat(self) -> FlatSequence:
+        """Flattened (item, transaction_number) view."""
+        return self._flat
+
+    @property
+    def length(self) -> int:
+        """Total number of item occurrences (the paper's *length*)."""
+        return len(self._flat)
+
+    @property
+    def size(self) -> int:
+        """Number of transactions."""
+        return len(self._raw)
+
+    def k_prefix(self, k: int) -> "Sequence":
+        """The k-prefix as a new Sequence."""
+        return Sequence.from_raw(k_prefix(self._raw, k))
+
+    def contains(self, other: "Sequence") -> bool:
+        """True when *other* is a subsequence of this sequence."""
+        return contains(self._raw, other._raw)
+
+    def __contains__(self, other: object) -> bool:
+        if not isinstance(other, Sequence):
+            return NotImplemented  # type: ignore[return-value]
+        return self.contains(other)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._raw)
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    def __getitem__(self, index: int) -> Transaction:
+        return self._raw[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Sequence):
+            return NotImplemented
+        return self._raw == other._raw
+
+    def __lt__(self, other: "Sequence") -> bool:
+        if not isinstance(other, Sequence):
+            return NotImplemented  # type: ignore[return-value]
+        # Lexicographic comparison of flattened (item, no) pairs implements
+        # Definition 2.2; see repro.core.order for the proof obligations.
+        return self._flat < other._flat
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Sequence.of({format_seq(self._raw)!r})"
+
+    def __str__(self) -> str:
+        return format_seq(self._raw)

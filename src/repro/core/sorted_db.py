@@ -1,0 +1,92 @@
+"""The k-sorted database (system S5; Section 1.2, Tables 3/4/9/10).
+
+A k-sorted database holds the customer sequences of one partition ordered
+by their current (conditional) k-minimum subsequences.  It is backed by a
+:class:`~repro.core.avl.LocativeAVLTree` keyed by the flattened k-minimum
+subsequence, with one :class:`SortedEntry` per customer sequence carrying
+the apriori pointer that accelerates Apriori-CKMS.  Keys live in flat
+form throughout the inner loop; sequences are materialised only at the
+API boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.avl import LocativeAVLTree
+from repro.core.keytable import SortedKeyTable
+from repro.core.kminimum import SortedFrequentList, apriori_kms_entry
+from repro.core.sequence import FlatSequence, RawSequence, unflatten
+
+#: Available k-sorted-database index backends: the array-backed table is
+#: the default (fastest in CPython); the locative AVL tree matches the
+#: paper's data structure and is kept for the backend ablation.
+BACKENDS = {"table": SortedKeyTable, "avl": LocativeAVLTree}
+
+
+@dataclass(slots=True)
+class SortedEntry:
+    """One customer sequence inside a k-sorted database."""
+
+    cid: int
+    seq: RawSequence
+    key: FlatSequence  # flattened (conditional) k-minimum subsequence
+    pointer: int  # apriori pointer: index into the (k-1)-sorted list
+    #: memoised unbounded min-extension results per (k-1)-sorted-list node
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def kmin(self) -> RawSequence:
+        """The (conditional) k-minimum subsequence, materialised."""
+        return unflatten(self.key)
+
+
+class KSortedDatabase:
+    """Customer sequences sorted by (conditional) k-minimum subsequence."""
+
+    def __init__(
+        self,
+        members: Iterable[tuple[int, RawSequence]],
+        flist: SortedFrequentList,
+        backend: str = "table",
+    ):
+        self._tree = BACKENDS[backend]()
+        self.flist = flist
+        for cid, seq in members:
+            cache: dict = {}
+            found = apriori_kms_entry(seq, flist, cache=cache)
+            if found is None:
+                continue  # no k-subsequence with a frequent prefix: drop (Fig 4)
+            key, pointer = found
+            self.add(SortedEntry(cid, seq, key, pointer, cache))
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def add(self, entry: SortedEntry) -> None:
+        """(Re-)insert an entry under its current k-minimum key."""
+        self._tree.insert(entry.key, entry)
+
+    def candidate(self) -> RawSequence:
+        """alpha_1: the k-minimum subsequence at the first position."""
+        key, _ = self._tree.min_bucket()
+        return unflatten(key)
+
+    def condition(self, delta: int) -> RawSequence:
+        """alpha_delta: the k-minimum subsequence at the delta-th position."""
+        return unflatten(self._tree.key_at_rank(delta))
+
+    def pop_candidate_group(self) -> list[SortedEntry]:
+        """Remove and return every entry whose k-minimum equals alpha_1."""
+        _, bucket = self._tree.pop_min_bucket()
+        return bucket
+
+    def pop_below(self, bound_key: FlatSequence) -> list[SortedEntry]:
+        """Remove and return every entry with k-minimum key < *bound_key*."""
+        removed = self._tree.pop_while_less(bound_key)
+        return [entry for _, bucket in removed for entry in bucket]
+
+    def entries(self) -> Iterator[SortedEntry]:
+        """Entries in ascending k-minimum order (Tables 3/4/9/10 layout)."""
+        return self._tree.entries()

@@ -1,0 +1,5 @@
+"""Synthetic data substrate (system S18): the Quest-style generator."""
+
+from repro.datagen.quest import QuestParams, generate
+
+__all__ = ["QuestParams", "generate"]

@@ -1,0 +1,254 @@
+"""IBM Quest-style synthetic sequence generator (system S18).
+
+The paper evaluates on databases from the IBM Quest data generator
+(Agrawal & Srikant, ICDE 1995; binary dated July 22 1997), which is
+proprietary and long unavailable.  This module re-implements the
+two-phase generation process described in that paper with the same
+command-option names the paper's Table 11 tunes:
+
+======  ==========================================================
+ncust   number of customers (|D|)
+slen    average number of transactions per customer (Poisson)
+tlen    average number of items per transaction (Poisson)
+nitems  number of different items
+patlen  average number of itemsets per maximal potential pattern
+        (the paper's ``seq.patlen``; Poisson)
+npats   number of maximal potentially frequent sequences (N_S)
+nlits   number of maximal potentially frequent itemsets (N_I)
+litlen  average size of those itemsets (Poisson)
+corr    correlation: probability that a table entry reuses parts of
+        its predecessor
+corrupt mean corruption level (items dropped when a pattern is
+        embedded), clipped normal with sd ``corrupt_sd`` as in Quest
+======  ==========================================================
+
+Phase 1 builds the table of *potentially frequent itemsets*: item sets
+of Poisson(litlen) size over a uniform item universe, each sharing a
+``corr`` fraction of items with its predecessor, weighted by a
+normalised exponential.  Phase 2 builds the *potentially frequent
+sequences*: Poisson(patlen) many elements, each element an itemset
+drawn from the phase-1 table by weight, again with predecessor
+correlation and exponential weights.
+
+Each customer sequence then embeds weighted random patterns — every
+embedding independently *corrupted* by dropping items at the pattern's
+corruption level — into consecutive transactions until its
+Poisson-drawn size budget is met, so all data ultimately derives from
+the pattern tables, as in Quest.
+
+Everything is driven by an explicit seed: the same parameters always
+produce byte-identical databases.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+
+from repro.db.database import SequenceDatabase
+from repro.exceptions import InvalidParameterError
+
+#: A potentially frequent sequence: elements, sampling weight,
+#: per-pattern corruption level.
+_Pattern = tuple[tuple[tuple[int, ...], ...], float, float]
+
+
+@dataclass(frozen=True, slots=True)
+class QuestParams:
+    """Knobs of the Quest-style generator (names follow Table 11)."""
+
+    ncust: int = 1000
+    slen: float = 10.0
+    tlen: float = 2.5
+    nitems: int = 1000
+    patlen: float = 4.0
+    npats: int = 500
+    nlits: int = 1000
+    litlen: float = 1.25
+    corr: float = 0.25
+    corrupt_mean: float = 0.75
+    corrupt_sd: float = 0.1
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise InvalidParameterError on out-of-range settings."""
+        for name in ("ncust", "nitems", "npats", "nlits"):
+            if getattr(self, name) < 1:
+                raise InvalidParameterError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+        for name in ("slen", "tlen", "patlen", "litlen"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise InvalidParameterError(f"{name} must be > 0, got {value}")
+        if not 0.0 <= self.corr <= 1.0:
+            raise InvalidParameterError(f"corr must be in [0,1], got {self.corr}")
+        if not 0.0 <= self.corrupt_mean <= 1.0:
+            raise InvalidParameterError(
+                f"corrupt_mean must be in [0,1], got {self.corrupt_mean}"
+            )
+        if self.corrupt_sd < 0:
+            raise InvalidParameterError(
+                f"corrupt_sd must be >= 0, got {self.corrupt_sd}"
+            )
+
+    def scaled(self, **overrides) -> "QuestParams":
+        """A copy with some fields replaced (sweep convenience)."""
+        return replace(self, **overrides)
+
+
+def generate(params: QuestParams) -> SequenceDatabase:
+    """Generate a deterministic synthetic database from *params*."""
+    params.validate()
+    rng = random.Random(params.seed)
+    itemsets, itemset_weights = _itemset_table(params, rng)
+    patterns = _pattern_table(params, rng, itemsets, itemset_weights)
+    weights = [weight for _, weight, _ in patterns]
+    sequences = [
+        _customer_sequence(params, patterns, weights, rng)
+        for _ in range(params.ncust)
+    ]
+    return SequenceDatabase(sequences)
+
+
+# -- sampling helpers --------------------------------------------------------------
+
+
+def _poisson_at_least_one(rng: random.Random, mean: float) -> int:
+    """Poisson sample clamped to >= 1 (Quest uses small positive means)."""
+    # Knuth's algorithm; the means used here are < 50.
+    threshold = math.exp(-mean)
+    k, product = 0, 1.0
+    while True:
+        k += 1
+        product *= rng.random()
+        if product <= threshold:
+            break
+    return max(1, k - 1)
+
+
+def _exponential_weights(rng: random.Random, count: int) -> list[float]:
+    """Normalised exponential weights (Quest's pattern popularity)."""
+    raw = [rng.expovariate(1.0) for _ in range(count)]
+    total = sum(raw)
+    return [value / total for value in raw]
+
+
+# -- phase 1: potentially frequent itemsets ----------------------------------------
+
+
+def _itemset_table(
+    params: QuestParams, rng: random.Random
+) -> tuple[list[tuple[int, ...]], list[float]]:
+    """The N_I potentially frequent itemsets with their weights.
+
+    Each entry shares (on average) a ``corr`` fraction of its items with
+    its predecessor — Quest's way of modelling related product groups —
+    and draws the rest uniformly from the item universe.
+    """
+    table: list[tuple[int, ...]] = []
+    previous: tuple[int, ...] = ()
+    for _ in range(params.nlits):
+        size = _poisson_at_least_one(rng, params.litlen)
+        chosen: set[int] = set()
+        for _ in range(size):
+            if previous and rng.random() < params.corr:
+                chosen.add(rng.choice(previous))
+            else:
+                chosen.add(rng.randint(1, params.nitems))
+        entry = tuple(sorted(chosen))
+        table.append(entry)
+        previous = entry
+    return table, _exponential_weights(rng, len(table))
+
+
+# -- phase 2: potentially frequent sequences ----------------------------------------
+
+
+def _pattern_table(
+    params: QuestParams,
+    rng: random.Random,
+    itemsets: list[tuple[int, ...]],
+    itemset_weights: list[float],
+) -> list[_Pattern]:
+    """The N_S potentially frequent sequences.
+
+    Elements are itemsets drawn from the phase-1 table by weight; with
+    probability ``corr`` an element is reused from the previous pattern
+    instead.  Every pattern carries an exponential sampling weight and a
+    clipped-normal corruption level.
+    """
+    weights = _exponential_weights(rng, params.npats)
+    patterns: list[_Pattern] = []
+    previous_elements: tuple[tuple[int, ...], ...] = ()
+    for index in range(params.npats):
+        length = _poisson_at_least_one(rng, params.patlen)
+        elements: list[tuple[int, ...]] = []
+        for _ in range(length):
+            if previous_elements and rng.random() < params.corr:
+                elements.append(rng.choice(previous_elements))
+            else:
+                elements.append(
+                    rng.choices(itemsets, weights=itemset_weights, k=1)[0]
+                )
+        corruption = min(
+            1.0, max(0.0, rng.gauss(params.corrupt_mean, params.corrupt_sd))
+        )
+        entry = tuple(elements)
+        patterns.append((entry, weights[index], corruption))
+        previous_elements = entry
+    return patterns
+
+
+# -- customer sequences --------------------------------------------------------------
+
+
+def _corrupted(
+    pattern: tuple[tuple[int, ...], ...],
+    level: float,
+    rng: random.Random,
+) -> list[list[int]]:
+    """Drop items from a pattern embedding (Quest's corruption step)."""
+    kept: list[list[int]] = []
+    for itemset in pattern:
+        survivors = [item for item in itemset if rng.random() >= level]
+        if survivors:
+            kept.append(survivors)
+    return kept
+
+
+def _customer_sequence(
+    params: QuestParams,
+    patterns: list[_Pattern],
+    weights: list[float],
+    rng: random.Random,
+) -> tuple[tuple[int, ...], ...]:
+    """Assemble one customer sequence from corrupted pattern embeddings."""
+    n_txn = _poisson_at_least_one(rng, params.slen)
+    budget = [_poisson_at_least_one(rng, params.tlen) for _ in range(n_txn)]
+    transactions: list[set[int]] = [set() for _ in range(n_txn)]
+    target = sum(budget)
+    placed = 0
+    attempts = 0
+    max_attempts = 4 * n_txn + 8
+    while placed < target and attempts < max_attempts:
+        attempts += 1
+        pattern, _, corruption = rng.choices(patterns, weights=weights, k=1)[0]
+        embedding = _corrupted(pattern, corruption, rng)
+        if not embedding:
+            continue
+        if len(embedding) > n_txn:
+            embedding = embedding[:n_txn]
+        offset = rng.randrange(0, n_txn - len(embedding) + 1)
+        for shift, itemset in enumerate(embedding):
+            txn = transactions[offset + shift]
+            for item in itemset:
+                if item not in txn:
+                    txn.add(item)
+                    placed += 1
+    result = tuple(tuple(sorted(txn)) for txn in transactions if txn)
+    if result:
+        return result
+    # Degenerate fallback (all embeddings fully corrupted): one item.
+    return ((rng.randint(1, params.nitems),),)

@@ -1,0 +1,7 @@
+"""Database substrate (system S19): containers, vocabulary, IO, stats."""
+
+from repro.db.database import SequenceDatabase
+from repro.db.stats import DatabaseStats
+from repro.db.vocabulary import Vocabulary
+
+__all__ = ["SequenceDatabase", "DatabaseStats", "Vocabulary"]

@@ -1,0 +1,140 @@
+"""The sequence database container (system S19).
+
+A :class:`SequenceDatabase` holds one canonical raw sequence per customer,
+assigns customer ids 1..n (matching the paper's CID columns), and carries
+an optional :class:`~repro.db.vocabulary.Vocabulary` when built from
+non-integer items.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Iterator
+
+from repro.core.sequence import RawSequence, canonical, parse, seq_length, validate
+from repro.db.stats import DatabaseStats, compute_stats
+from repro.db.vocabulary import Vocabulary
+from repro.exceptions import InvalidDatabaseError, InvalidParameterError
+
+
+class SequenceDatabase:
+    """An immutable database of customer sequences.
+
+    Customer ids are 1-based positions, as in the paper's tables.  Empty
+    customer sequences are rejected: a customer with no transactions has
+    no place in the mining problem.
+    """
+
+    __slots__ = ("_sequences", "_vocabulary", "_stats")
+
+    def __init__(
+        self,
+        sequences: Iterable[RawSequence],
+        vocabulary: Vocabulary | None = None,
+    ):
+        seqs = tuple(sequences)
+        for seq in seqs:
+            validate(seq)
+            if not seq:
+                raise InvalidDatabaseError("empty customer sequence")
+        self._sequences = seqs
+        self._vocabulary = vocabulary
+        self._stats: DatabaseStats | None = None
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_texts(cls, texts: Iterable[str]) -> "SequenceDatabase":
+        """Build from textual sequences like ``"(a, e, g)(b)(h)"``."""
+        return cls(parse(text) for text in texts)
+
+    @classmethod
+    def from_itemsets(
+        cls, customers: Iterable[Iterable[Iterable[Hashable]]]
+    ) -> "SequenceDatabase":
+        """Build from nested user items, creating a vocabulary.
+
+        *customers* is an iterable of customer sequences, each a list of
+        itemsets of arbitrary hashable items.
+        """
+        materialised = [[list(txn) for txn in customer] for customer in customers]
+        vocab = Vocabulary.from_items(
+            item for customer in materialised for txn in customer for item in txn
+        )
+        return cls((vocab.encode(customer) for customer in materialised), vocab)
+
+    @classmethod
+    def from_raw(cls, raws: Iterable[Iterable[Iterable[int]]]) -> "SequenceDatabase":
+        """Build from integer itemsets, canonicalising each sequence."""
+        return cls(canonical(raw) for raw in raws)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> Vocabulary | None:
+        """The item vocabulary, when the database was built from user items."""
+        return self._vocabulary
+
+    @property
+    def sequences(self) -> tuple[RawSequence, ...]:
+        """All customer sequences, CID order."""
+        return self._sequences
+
+    def members(self) -> list[tuple[int, RawSequence]]:
+        """(cid, sequence) pairs — the shape the mining code consumes."""
+        return list(enumerate(self._sequences, start=1))
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __iter__(self) -> Iterator[RawSequence]:
+        return iter(self._sequences)
+
+    def __getitem__(self, cid: int) -> RawSequence:
+        """Customer sequence by 1-based cid."""
+        if not 1 <= cid <= len(self._sequences):
+            raise InvalidDatabaseError(f"cid {cid} out of range 1..{len(self)}")
+        return self._sequences[cid - 1]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SequenceDatabase):
+            return NotImplemented
+        return self._sequences == other._sequences
+
+    def __hash__(self) -> int:
+        return hash(self._sequences)
+
+    def __repr__(self) -> str:
+        return f"SequenceDatabase({len(self)} sequences)"
+
+    @property
+    def stats(self) -> DatabaseStats:
+        """Summary statistics (computed once, cached)."""
+        if self._stats is None:
+            self._stats = compute_stats(self._sequences)
+        return self._stats
+
+    # -- support thresholds --------------------------------------------------
+
+    def delta_for(self, min_support: float | int) -> int:
+        """Convert a support threshold into an absolute count delta.
+
+        An ``int`` is taken as an absolute count; a ``float`` in (0, 1] as
+        the fraction of the database size (the paper's "minimum support
+        threshold"), rounded up.  The result is clamped to at least 1.
+        """
+        if isinstance(min_support, bool) or min_support <= 0:
+            raise InvalidParameterError(
+                f"min_support must be positive, got {min_support!r}"
+            )
+        if isinstance(min_support, int):
+            return max(1, min_support)
+        if min_support > 1:
+            raise InvalidParameterError(
+                f"fractional min_support must be <= 1, got {min_support}"
+            )
+        return max(1, math.ceil(min_support * len(self)))
+
+    def max_sequence_length(self) -> int:
+        """Length of the longest customer sequence."""
+        return max((seq_length(seq) for seq in self._sequences), default=0)

@@ -1,0 +1,138 @@
+"""Database sampling utilities (system S19).
+
+Large-database workflows routinely mine a customer sample first to
+calibrate thresholds before paying for the full run.  This module
+provides deterministic customer sampling, train/test splitting, and a
+support estimator with a binomial confidence interval (normal
+approximation) so a sampled support can be read with error bars.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.sequence import RawSequence, contains
+from repro.db.database import SequenceDatabase
+from repro.exceptions import InvalidParameterError
+
+
+def sample_customers(
+    db: SequenceDatabase, fraction: float, seed: int = 0
+) -> SequenceDatabase:
+    """A deterministic customer sample of ceil(fraction * |db|) sequences.
+
+    Sampling is without replacement and preserves the original CID
+    order among the chosen customers.  The vocabulary is shared.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise InvalidParameterError(f"fraction must be in (0, 1], got {fraction}")
+    size = max(1, math.ceil(fraction * len(db)))
+    rng = random.Random(seed)
+    chosen = sorted(rng.sample(range(len(db)), size))
+    return SequenceDatabase(
+        (db.sequences[index] for index in chosen), db.vocabulary
+    )
+
+
+def split_customers(
+    db: SequenceDatabase, train_fraction: float = 0.8, seed: int = 0
+) -> tuple[SequenceDatabase, SequenceDatabase]:
+    """Deterministic train/test split over customers.
+
+    Both sides preserve original order and share the vocabulary; every
+    customer lands on exactly one side.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise InvalidParameterError(
+            f"train_fraction must be in (0, 1), got {train_fraction}"
+        )
+    rng = random.Random(seed)
+    indices = list(range(len(db)))
+    rng.shuffle(indices)
+    cut = max(1, min(len(db) - 1, round(train_fraction * len(db))))
+    train = sorted(indices[:cut])
+    test = sorted(indices[cut:])
+    return (
+        SequenceDatabase((db.sequences[i] for i in train), db.vocabulary),
+        SequenceDatabase((db.sequences[i] for i in test), db.vocabulary),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SupportEstimate:
+    """A sampled support fraction with a confidence interval."""
+
+    fraction: float
+    low: float
+    high: float
+    sample_size: int
+
+    def count_in(self, database_size: int) -> float:
+        """Extrapolated support count in a database of the given size."""
+        return self.fraction * database_size
+
+
+def estimate_support(
+    db: SequenceDatabase,
+    pattern: RawSequence,
+    fraction: float,
+    seed: int = 0,
+    confidence: float = 0.95,
+) -> SupportEstimate:
+    """Estimate a pattern's support fraction from a customer sample.
+
+    Uses the normal approximation to the binomial proportion; the
+    interval is clipped to [0, 1].  With ``fraction=1.0`` the estimate
+    is exact and the interval collapses.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    sample = sample_customers(db, fraction, seed)
+    hits = sum(1 for seq in sample if contains(seq, pattern))
+    n = len(sample)
+    p = hits / n
+    if n == len(db):
+        return SupportEstimate(p, p, p, n)
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    margin = z * math.sqrt(max(p * (1.0 - p), 1e-12) / n)
+    return SupportEstimate(
+        fraction=p,
+        low=max(0.0, p - margin),
+        high=min(1.0, p + margin),
+        sample_size=n,
+    )
+
+
+def _normal_quantile(prob: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    if not 0.0 < prob < 1.0:
+        raise InvalidParameterError(f"probability must be in (0, 1), got {prob}")
+    # Coefficients for the central region.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if prob < p_low:
+        q = math.sqrt(-2 * math.log(prob))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if prob > 1 - p_low:
+        q = math.sqrt(-2 * math.log(1 - prob))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    q = prob - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+    )

@@ -1,0 +1,69 @@
+"""Database statistics (the knobs the paper's evaluation varies)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.sequence import RawSequence, seq_length
+
+
+@dataclass(frozen=True, slots=True)
+class DatabaseStats:
+    """Summary statistics of a sequence database.
+
+    ``avg_transactions`` is the paper's theta (average number of
+    transactions per customer sequence, Section 4.3) and
+    ``avg_items_per_transaction`` its tlen.
+    """
+
+    num_sequences: int
+    num_distinct_items: int
+    total_items: int
+    total_transactions: int
+    max_length: int
+
+    @property
+    def avg_transactions(self) -> float:
+        """Average transactions per customer sequence (theta / slen)."""
+        if self.num_sequences == 0:
+            return 0.0
+        return self.total_transactions / self.num_sequences
+
+    @property
+    def avg_items_per_transaction(self) -> float:
+        """Average itemset size (tlen)."""
+        if self.total_transactions == 0:
+            return 0.0
+        return self.total_items / self.total_transactions
+
+    @property
+    def avg_length(self) -> float:
+        """Average customer sequence length (item occurrences)."""
+        if self.num_sequences == 0:
+            return 0.0
+        return self.total_items / self.num_sequences
+
+
+def compute_stats(sequences: Iterable[RawSequence]) -> DatabaseStats:
+    """Single-pass statistics over raw sequences."""
+    num_sequences = 0
+    total_items = 0
+    total_transactions = 0
+    max_length = 0
+    items: set[int] = set()
+    for seq in sequences:
+        num_sequences += 1
+        total_transactions += len(seq)
+        length = seq_length(seq)
+        total_items += length
+        max_length = max(max_length, length)
+        for txn in seq:
+            items.update(txn)
+    return DatabaseStats(
+        num_sequences=num_sequences,
+        num_distinct_items=len(items),
+        total_items=total_items,
+        total_transactions=total_transactions,
+        max_length=max_length,
+    )

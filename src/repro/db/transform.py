@@ -1,0 +1,76 @@
+"""Representation transforms for sequence databases (system S19).
+
+The vertical layouts here are shared by the SPADE and SPAM baselines and
+available to downstream users:
+
+* :func:`vertical_format` — item -> ID-list of ``(sid, eid)`` pairs, the
+  representation of Zaki's SPADE (§1.1 of the paper);
+* :func:`horizontal_format` — the inverse;
+* :func:`as_single_items` — flatten itemsets into 1-item transactions
+  (the shape of clickstreams and DNA reads);
+* :func:`relabel_items` — apply an item mapping, re-canonicalising.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.core.sequence import RawSequence, canonical
+from repro.exceptions import InvalidDatabaseError
+
+#: ID-list: (sid, eid) pairs, eid being the 0-based transaction index.
+IdList = list[tuple[int, int]]
+
+
+def vertical_format(
+    members: Iterable[tuple[int, RawSequence]]
+) -> dict[int, IdList]:
+    """Item -> ID-list over all members, in (sid, eid) order."""
+    vertical: dict[int, IdList] = {}
+    for sid, seq in members:
+        for eid, txn in enumerate(seq):
+            for item in txn:
+                vertical.setdefault(item, []).append((sid, eid))
+    return vertical
+
+
+def horizontal_format(
+    vertical: Mapping[int, IdList]
+) -> list[tuple[int, RawSequence]]:
+    """Rebuild (sid, sequence) members from an item -> ID-list map.
+
+    Transaction indices must form a contiguous 0..n-1 range per sid;
+    anything else raises :class:`InvalidDatabaseError`.
+    """
+    per_sid: dict[int, dict[int, set[int]]] = {}
+    for item, idlist in vertical.items():
+        for sid, eid in idlist:
+            per_sid.setdefault(sid, {}).setdefault(eid, set()).add(item)
+    members: list[tuple[int, RawSequence]] = []
+    for sid in sorted(per_sid):
+        by_eid = per_sid[sid]
+        if set(by_eid) != set(range(len(by_eid))):
+            raise InvalidDatabaseError(
+                f"sid {sid}: transaction indices {sorted(by_eid)} not contiguous"
+            )
+        members.append(
+            (sid, tuple(tuple(sorted(by_eid[eid])) for eid in range(len(by_eid))))
+        )
+    return members
+
+
+def as_single_items(seq: RawSequence) -> RawSequence:
+    """Split every itemset into consecutive 1-item transactions.
+
+    Items within one original transaction are emitted in sorted order;
+    the transform is lossy (co-occurrence becomes adjacency).
+    """
+    return tuple((item,) for txn in seq for item in txn)
+
+
+def relabel_items(
+    seq: RawSequence, mapping: Mapping[int, int] | Callable[[int], int]
+) -> RawSequence:
+    """Apply an item relabelling and re-canonicalise each transaction."""
+    lookup = mapping if callable(mapping) else mapping.__getitem__
+    return canonical([[lookup(item) for item in txn] for txn in seq])

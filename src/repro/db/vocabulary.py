@@ -1,0 +1,85 @@
+"""Item vocabulary: mapping between user items and internal integer ids.
+
+The mining code works on integer items because the comparative order
+(Section 2) needs a total order on items.  A :class:`Vocabulary` assigns
+ids 1..n; by default ids follow the natural sort order of the original
+items so that the paper's "alphabetical order" survives the mapping, with
+insertion order as the fallback for unsortable mixtures.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.exceptions import InvalidDatabaseError
+
+
+class Vocabulary:
+    """Bidirectional item <-> id map with ids 1..n."""
+
+    __slots__ = ("_to_id", "_to_item")
+
+    def __init__(self) -> None:
+        self._to_id: dict[Hashable, int] = {}
+        self._to_item: list[Hashable] = []
+
+    @classmethod
+    def from_items(cls, items: Iterable[Hashable], sort: bool = True) -> "Vocabulary":
+        """Build a vocabulary from distinct items.
+
+        With ``sort=True`` (default) ids follow the items' natural order;
+        unsortable mixtures fall back to first-appearance order.
+        """
+        vocab = cls()
+        distinct = list(dict.fromkeys(items))
+        if sort:
+            try:
+                distinct.sort()  # type: ignore[arg-type]
+            except TypeError:
+                pass
+        for item in distinct:
+            vocab.add(item)
+        return vocab
+
+    def add(self, item: Hashable) -> int:
+        """Register *item* (idempotent); returns its id."""
+        existing = self._to_id.get(item)
+        if existing is not None:
+            return existing
+        new_id = len(self._to_item) + 1
+        self._to_id[item] = new_id
+        self._to_item.append(item)
+        return new_id
+
+    def id_of(self, item: Hashable) -> int:
+        """Id of a registered item; raises on unknown items."""
+        try:
+            return self._to_id[item]
+        except KeyError:
+            raise InvalidDatabaseError(f"unknown item {item!r}") from None
+
+    def item_of(self, item_id: int) -> Hashable:
+        """Original item for an id; raises on out-of-range ids."""
+        if not 1 <= item_id <= len(self._to_item):
+            raise InvalidDatabaseError(f"unknown item id {item_id}")
+        return self._to_item[item_id - 1]
+
+    def __len__(self) -> int:
+        return len(self._to_item)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._to_id
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._to_item)
+
+    def encode(self, itemsets: Iterable[Iterable[Hashable]]) -> tuple[tuple[int, ...], ...]:
+        """Encode one customer sequence of user items into raw form."""
+        return tuple(
+            tuple(sorted(self.id_of(item) for item in set(itemset)))
+            for itemset in itemsets
+        )
+
+    def decode(self, raw: Iterable[Iterable[int]]) -> list[list[Hashable]]:
+        """Decode a raw sequence back to user items."""
+        return [[self.item_of(i) for i in txn] for txn in raw]

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidSequenceError(ReproError, ValueError):
+    """A sequence violates the canonical form (empty itemsets, bad items)."""
+
+
+class InvalidDatabaseError(ReproError, ValueError):
+    """A sequence database is structurally invalid."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A mining or generation parameter is out of its valid range."""
+
+
+class UnknownAlgorithmError(ReproError, KeyError):
+    """The requested mining algorithm is not registered."""
+
+
+class DataFormatError(ReproError, ValueError):
+    """A file being read does not conform to the expected text format."""

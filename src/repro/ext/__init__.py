@@ -1,0 +1,46 @@
+"""Extensions beyond the paper's evaluation (system S23).
+
+* :mod:`repro.ext.weighted` — weighted mining (the paper's §5 future work);
+* :mod:`repro.ext.topk` — top-k most frequent sequences;
+* :mod:`repro.ext.closed` — CloSpan-style closed-pattern mining;
+* :mod:`repro.ext.constraints` — gap/span/length-constrained mining
+  (the related-work direction of the paper's refs [5] and [10]);
+* :mod:`repro.ext.rules` — sequential rule generation with
+  confidence/lift;
+* :mod:`repro.ext.features` — frequent sequences as classification
+  features (the pipeline of ref [8]);
+* :mod:`repro.ext.time_constraints` — GSP's generalised containment
+  over timestamped sequences (sliding windows, time gaps; ref [13]).
+"""
+
+from repro.ext.closed import mine_closed
+from repro.ext.constraints import Constraints, contains_constrained, mine_constrained
+from repro.ext.features import PatternFeaturizer, select_features
+from repro.ext.rules import SequentialRule, generate_rules, rules_for
+from repro.ext.time_constraints import (
+    TimeConstraints,
+    TimedSequence,
+    contains_timed,
+    mine_timed,
+)
+from repro.ext.topk import mine_topk
+from repro.ext.weighted import WeightedResult, mine_weighted
+
+__all__ = [
+    "mine_closed",
+    "Constraints",
+    "contains_constrained",
+    "mine_constrained",
+    "PatternFeaturizer",
+    "select_features",
+    "SequentialRule",
+    "generate_rules",
+    "rules_for",
+    "TimeConstraints",
+    "TimedSequence",
+    "contains_timed",
+    "mine_timed",
+    "mine_topk",
+    "WeightedResult",
+    "mine_weighted",
+]

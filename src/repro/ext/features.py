@@ -1,0 +1,101 @@
+"""Frequent sequences as classification features (system S23).
+
+The paper's Figure 9 parameters come from Lesh, Zaki & Ogihara's "Mining
+Features for Sequence Classification" (ref [8]), which uses frequent
+sequences as boolean features for downstream classifiers.  This module
+implements that pipeline step:
+
+* :class:`PatternFeaturizer` — select feature patterns from a mining
+  result (optionally pruning redundant ones) and turn any sequence into
+  a dense 0/1 numpy vector of "contains pattern p";
+* :func:`select_features` — the selection heuristics of [8]: frequency
+  floor, length bounds, and redundancy pruning (drop a pattern whose
+  supporter set inside the training data equals a kept sub-pattern's).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sequence import RawSequence, contains, flatten, seq_length
+from repro.exceptions import InvalidParameterError
+
+
+def select_features(
+    patterns: dict[RawSequence, int],
+    sequences: list[RawSequence],
+    min_length: int = 1,
+    max_length: int | None = None,
+    max_features: int | None = None,
+    prune_redundant: bool = True,
+) -> list[RawSequence]:
+    """Select feature patterns per the heuristics of [8].
+
+    Patterns are ranked by (support desc, length desc, comparative
+    order); redundancy pruning drops any pattern whose supporter set
+    over *sequences* duplicates that of an already kept pattern — such
+    features are indistinguishable to any downstream classifier.
+    """
+    if min_length < 1:
+        raise InvalidParameterError(f"min_length must be >= 1, got {min_length}")
+    if max_length is not None and max_length < min_length:
+        raise InvalidParameterError(
+            f"max_length {max_length} < min_length {min_length}"
+        )
+    candidates = [
+        (pattern, count)
+        for pattern, count in patterns.items()
+        if seq_length(pattern) >= min_length
+        and (max_length is None or seq_length(pattern) <= max_length)
+    ]
+    candidates.sort(
+        key=lambda pc: (-pc[1], -seq_length(pc[0]), flatten(pc[0]))
+    )
+    kept: list[RawSequence] = []
+    seen_signatures: set[frozenset[int]] = set()
+    for pattern, _count in candidates:
+        if prune_redundant:
+            signature = frozenset(
+                index
+                for index, seq in enumerate(sequences)
+                if contains(seq, pattern)
+            )
+            if signature in seen_signatures:
+                continue
+            seen_signatures.add(signature)
+        kept.append(pattern)
+        if max_features is not None and len(kept) >= max_features:
+            break
+    return kept
+
+
+class PatternFeaturizer:
+    """Turn sequences into boolean containment vectors over patterns."""
+
+    def __init__(self, features: list[RawSequence]):
+        if not features:
+            raise InvalidParameterError("featurizer needs at least one pattern")
+        self.features = list(features)
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def transform_one(self, seq: RawSequence) -> np.ndarray:
+        """0/1 vector: entry i is 1 iff *seq* contains feature i."""
+        return np.fromiter(
+            (1 if contains(seq, pattern) else 0 for pattern in self.features),
+            dtype=np.int8,
+            count=len(self.features),
+        )
+
+    def transform(self, sequences: list[RawSequence]) -> np.ndarray:
+        """Matrix of shape (len(sequences), n_features)."""
+        if not sequences:
+            return np.zeros((0, len(self.features)), dtype=np.int8)
+        return np.vstack([self.transform_one(seq) for seq in sequences])
+
+    def feature_names(self) -> list[str]:
+        """Readable feature labels (the patterns, formatted)."""
+        from repro.core.sequence import format_seq
+
+        return [format_seq(pattern) for pattern in self.features]

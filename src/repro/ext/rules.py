@@ -1,0 +1,128 @@
+"""Sequential rule generation from frequent sequences (system S23).
+
+A *sequential rule* ``A => B`` states: customers whose history contains
+the sequence A tend to continue with B, i.e. to contain the concatenated
+sequence AB.  Rules are generated from a mined pattern map by splitting
+every frequent sequence at each transaction boundary:
+
+* support(A => B)    = support(AB)
+* confidence(A => B) = support(AB) / support(A)
+* lift(A => B)       = confidence / (support(B) / |DB|)
+
+Only transaction-boundary splits are offered: splitting inside an
+itemset would turn one co-occurrence constraint into two orderable ones
+and change the semantics.  Both sides of every split of a frequent
+sequence are themselves frequent (they are subsequences), so all needed
+supports are already in the map — rule generation is a pure
+post-processing step, as in Agrawal & Srikant's original formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.sequence import RawSequence, format_seq
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True, slots=True)
+class SequentialRule:
+    """One rule ``antecedent => consequent`` with its statistics."""
+
+    antecedent: RawSequence
+    consequent: RawSequence
+    support: int
+    confidence: float
+    lift: float
+
+    def __str__(self) -> str:
+        return (
+            f"{format_seq(self.antecedent)} => {format_seq(self.consequent)} "
+            f"(sup={self.support}, conf={self.confidence:.3f}, "
+            f"lift={self.lift:.3f})"
+        )
+
+
+def generate_rules(
+    patterns: dict[RawSequence, int],
+    database_size: int,
+    min_confidence: float = 0.5,
+) -> list[SequentialRule]:
+    """All rules meeting *min_confidence*, sorted by (confidence, support).
+
+    *patterns* must be downward-closed (any full mining result is);
+    missing split supports raise, catching truncated inputs early.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise InvalidParameterError(
+            f"min_confidence must be in (0, 1], got {min_confidence}"
+        )
+    if database_size < 1:
+        raise InvalidParameterError(
+            f"database_size must be >= 1, got {database_size}"
+        )
+    rules = list(_rules(patterns, database_size, min_confidence))
+    rules.sort(key=lambda r: (-r.confidence, -r.support))
+    return rules
+
+
+def _rules(
+    patterns: dict[RawSequence, int],
+    database_size: int,
+    min_confidence: float,
+) -> Iterator[SequentialRule]:
+    for sequence, support in patterns.items():
+        if len(sequence) < 2:
+            continue  # need at least two transactions to split between
+        for cut in range(1, len(sequence)):
+            antecedent = sequence[:cut]
+            consequent = sequence[cut:]
+            try:
+                antecedent_support = patterns[antecedent]
+                consequent_support = patterns[consequent]
+            except KeyError as missing:
+                raise InvalidParameterError(
+                    f"pattern map is not downward-closed: missing "
+                    f"{format_seq(missing.args[0])}"
+                ) from None
+            confidence = support / antecedent_support
+            if confidence < min_confidence:
+                continue
+            lift = confidence / (consequent_support / database_size)
+            yield SequentialRule(
+                antecedent, consequent, support, confidence, lift
+            )
+
+
+def rules_for(
+    rules: list[SequentialRule], antecedent: RawSequence
+) -> list[SequentialRule]:
+    """The rules whose antecedent equals *antecedent* (prediction view)."""
+    return [rule for rule in rules if rule.antecedent == antecedent]
+
+
+def predict_next(
+    rules: list[SequentialRule],
+    history: RawSequence,
+    top: int = 5,
+) -> list[tuple[RawSequence, float]]:
+    """Rank likely continuations of *history* from a rule set.
+
+    A rule applies when its antecedent is contained in *history* (the
+    customer has exhibited the prefix behaviour); its consequent is then
+    predicted with the rule's confidence.  When several applicable rules
+    predict the same consequent the highest confidence wins — this is
+    the "stock trend prediction" use the paper's introduction motivates.
+    """
+    from repro.core.sequence import contains
+
+    best: dict[RawSequence, float] = {}
+    for rule in rules:
+        if not contains(history, rule.antecedent):
+            continue
+        current = best.get(rule.consequent)
+        if current is None or rule.confidence > current:
+            best[rule.consequent] = rule.confidence
+    ranked = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:top]

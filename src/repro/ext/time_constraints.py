@@ -1,0 +1,192 @@
+"""GSP-style time constraints over timestamped sequences (system S23).
+
+The problem definition (Section 1) builds customer sequences from
+transaction *times*; GSP [13] generalises containment with three
+time-based knobs that this module implements faithfully:
+
+* ``window_size`` — items matching one pattern itemset may be spread
+  over several transactions whose times differ by at most the window;
+* ``min_gap`` / ``max_gap`` — the time between the (window-merged)
+  transactions matching consecutive pattern itemsets must exceed
+  ``min_gap`` and be at most ``max_gap``, measured end-to-start and
+  start-to-end respectively, as in the GSP paper.
+
+A :class:`TimedSequence` pairs a canonical raw sequence with a
+non-decreasing timestamp per transaction.  :func:`contains_timed`
+implements the generalised containment by backtracking over admissible
+windows, and :func:`mine_timed` runs levelwise mining under it (prefix
+anti-monotonicity holds: dropping the last pattern itemset removes only
+constraints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence as TypingSequence
+
+from repro.core.counting import count_frequent_items
+from repro.core.sequence import (
+    RawSequence,
+    itemset_extension,
+    sequence_extension,
+    validate,
+)
+from repro.exceptions import InvalidParameterError, InvalidSequenceError
+
+
+@dataclass(frozen=True, slots=True)
+class TimedSequence:
+    """A customer sequence with one timestamp per transaction."""
+
+    raw: RawSequence
+    times: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        validate(self.raw)
+        if len(self.raw) != len(self.times):
+            raise InvalidSequenceError(
+                f"{len(self.raw)} transactions but {len(self.times)} timestamps"
+            )
+        for earlier, later in zip(self.times, self.times[1:]):
+            if later < earlier:
+                raise InvalidSequenceError("timestamps must be non-decreasing")
+
+    @classmethod
+    def evenly_spaced(cls, raw: RawSequence, step: float = 1.0) -> "TimedSequence":
+        """Timestamps 0, step, 2*step, ... (positional semantics)."""
+        return cls(raw, tuple(index * step for index in range(len(raw))))
+
+
+@dataclass(frozen=True, slots=True)
+class TimeConstraints:
+    """GSP's time-constraint triple (all optional)."""
+
+    window_size: float = 0.0
+    min_gap: float = 0.0
+    max_gap: float | None = None
+
+    def validate(self) -> None:
+        if self.window_size < 0:
+            raise InvalidParameterError(
+                f"window_size must be >= 0, got {self.window_size}"
+            )
+        if self.min_gap < 0:
+            raise InvalidParameterError(f"min_gap must be >= 0, got {self.min_gap}")
+        if self.max_gap is not None and self.max_gap <= self.min_gap:
+            raise InvalidParameterError(
+                f"max_gap {self.max_gap} must exceed min_gap {self.min_gap}"
+            )
+
+
+def _windows(
+    seq: TimedSequence, itemset: tuple[int, ...], window: float
+) -> list[tuple[float, float]]:
+    """All minimal time windows [start, end] covering *itemset*.
+
+    A window is a set of consecutive transactions spanning at most
+    *window* in time whose union covers the itemset; we enumerate, for
+    each feasible end transaction, the latest feasible start (minimal
+    windows suffice: any valid embedding can be shrunk to one).
+    """
+    n = len(seq.raw)
+    needed = set(itemset)
+    found: list[tuple[float, float]] = []
+    for end in range(n):
+        if not needed & set(seq.raw[end]):
+            continue
+        remaining = set(needed)
+        start = end
+        while start >= 0 and seq.times[end] - seq.times[start] <= window:
+            remaining -= set(seq.raw[start])
+            if not remaining:
+                found.append((seq.times[start], seq.times[end]))
+                break
+            start -= 1
+    return found
+
+
+def contains_timed(
+    seq: TimedSequence,
+    pattern: RawSequence,
+    constraints: TimeConstraints = TimeConstraints(),
+) -> bool:
+    """Generalised containment (GSP Section 2): windows + time gaps."""
+    if not pattern:
+        return True
+    constraints.validate()
+    window = constraints.window_size
+    min_gap = constraints.min_gap
+    max_gap = constraints.max_gap
+    windows = [_windows(seq, itemset, window) for itemset in pattern]
+    if any(not options for options in windows):
+        return False
+
+    # GSP's gap definitions between consecutive windows [l, u]:
+    #   l_i - u_{i-1} >  min_gap   (end-to-start)
+    #   u_i - l_{i-1} <= max_gap   (start-to-end)
+    def search(index: int, prev_start: float, prev_end: float) -> bool:
+        if index == len(pattern):
+            return True
+        for start, end in windows[index]:
+            if start - prev_end <= min_gap:
+                continue
+            if max_gap is not None and end - prev_start > max_gap:
+                continue
+            if search(index + 1, start, end):
+                return True
+        return False
+
+    if len(pattern) == 1:
+        return True  # a window exists
+    return any(search(1, start, end) for start, end in windows[0])
+
+
+def mine_timed(
+    sequences: Iterable[TimedSequence],
+    delta: int,
+    constraints: TimeConstraints = TimeConstraints(),
+) -> dict[RawSequence, int]:
+    """All sequences frequent under the generalised containment.
+
+    Levelwise growth with constrained recounting; complete because a
+    pattern's prefix is contained (under the same constraints) whenever
+    the pattern is.
+    """
+    if delta < 1:
+        raise InvalidParameterError(f"delta must be >= 1, got {delta}")
+    constraints.validate()
+    sequences = list(sequences)
+    members = [(cid, ts.raw) for cid, ts in enumerate(sequences, start=1)]
+    item_counts = count_frequent_items(members, delta)
+    frequent_items = sorted(item_counts)
+    patterns: dict[RawSequence, int] = {
+        ((item,),): count for item, count in item_counts.items()
+    }
+    frontier: list[RawSequence] = sorted(patterns)
+    while frontier:
+        grown: list[RawSequence] = []
+        for pattern in frontier:
+            last_item = pattern[-1][-1]
+            candidates = [
+                itemset_extension(pattern, item)
+                for item in frequent_items
+                if item > last_item
+            ] + [sequence_extension(pattern, item) for item in frequent_items]
+            for candidate in candidates:
+                count = sum(
+                    1
+                    for ts in sequences
+                    if contains_timed(ts, candidate, constraints)
+                )
+                if count >= delta:
+                    patterns[candidate] = count
+                    grown.append(candidate)
+        frontier = grown
+    return patterns
+
+
+def evenly_spaced_database(
+    raws: TypingSequence[RawSequence], step: float = 1.0
+) -> list[TimedSequence]:
+    """Wrap plain raw sequences with positional timestamps."""
+    return [TimedSequence.evenly_spaced(raw, step) for raw in raws]

@@ -1,0 +1,60 @@
+"""Top-k frequent sequence mining (system S23).
+
+A practical variant: instead of a support threshold, ask for the k most
+frequent sequences (of at least *min_length* items) — the standard
+adaptation of pattern-growth search to top-k (cf. TSP, Tzvetkov et al.
+2003).
+
+The search is best-first on (support desc, comparative order asc).
+Extension supports never exceed their parent's, and a pattern's flat key
+always sorts after its prefix's, so heap pops occur in exactly that
+global order; the first k qualifying pops *are* the top-k, and the
+search stops there.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.core.counting import CountingArray
+from repro.core.sequence import FlatSequence, RawSequence, flatten, seq_length
+from repro.exceptions import InvalidParameterError
+
+
+def mine_topk(
+    members: Iterable[tuple[int, RawSequence]],
+    k: int,
+    min_length: int = 1,
+) -> list[tuple[RawSequence, int]]:
+    """The *k* most frequent sequences with length >= *min_length*.
+
+    Returns (pattern, support) pairs in (support desc, comparative order
+    asc) order.  Fewer than *k* pairs come back when the database has
+    fewer qualifying patterns.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if min_length < 1:
+        raise InvalidParameterError(f"min_length must be >= 1, got {min_length}")
+    members = list(members)
+
+    frontier: list[tuple[int, FlatSequence, RawSequence]] = []
+
+    def push_extensions(prefix: RawSequence, floor: int) -> None:
+        array = CountingArray(prefix)
+        array.observe_all(members)
+        for pattern, count in array.frequent(floor):
+            heapq.heappush(frontier, (-count, flatten(pattern), pattern))
+
+    push_extensions((), 1)
+    results: list[tuple[RawSequence, int]] = []
+    while frontier and len(results) < k:
+        neg_count, _, pattern = heapq.heappop(frontier)
+        if seq_length(pattern) >= min_length:
+            results.append((pattern, -neg_count))
+        # Children with support below the current worst possible cut can
+        # never be popped before the loop ends, but computing that cut
+        # exactly is not worth it: prune only the trivial floor.
+        push_extensions(pattern, 1)
+    return results

@@ -1,0 +1,13 @@
+"""Unified mining API (system S20): one entry point, many algorithms."""
+
+from repro.mining.api import mine
+from repro.mining.registry import available_algorithms, get_algorithm, register_algorithm
+from repro.mining.result import MiningResult
+
+__all__ = [
+    "mine",
+    "MiningResult",
+    "available_algorithms",
+    "get_algorithm",
+    "register_algorithm",
+]

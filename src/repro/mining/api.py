@@ -1,0 +1,92 @@
+"""Public mining entry point (system S20).
+
+:func:`mine` is the one function a downstream user needs: give it a
+database, a support threshold (absolute count or fraction) and an
+algorithm name, get a :class:`~repro.mining.result.MiningResult` back.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.sequence import seq_length
+from repro.db.database import SequenceDatabase
+from repro.exceptions import InvalidParameterError
+from repro.mining.registry import get_algorithm
+from repro.mining.result import MiningResult
+
+
+def mine(
+    db: SequenceDatabase,
+    min_support: float | int,
+    algorithm: str = "disc-all",
+    closed: bool = False,
+    maximal: bool = False,
+    min_length: int | None = None,
+    max_length: int | None = None,
+    **options,
+) -> MiningResult:
+    """Mine every frequent sequence of *db*.
+
+    *min_support* is an absolute support count when given as an ``int``,
+    or a fraction of the database size when given as a ``float`` in
+    (0, 1] — the paper's "minimum support threshold".  *algorithm* names
+    a registered miner (``disc-all`` by default, the paper's bi-level
+    configuration); extra keyword *options* are forwarded to it (e.g.
+    ``gamma=`` for ``dynamic-disc-all``).
+
+    ``closed=True`` / ``maximal=True`` post-filter to the closed or
+    maximal subset; *min_length* / *max_length* bound pattern lengths.
+    The filters compose: closed/maximal are computed over the full
+    result first, then the length bounds apply.
+
+    A sequence is frequent when its support count is >= the resolved
+    threshold (see DESIGN.md on the >= convention).
+    """
+    if closed and maximal:
+        raise InvalidParameterError("choose at most one of closed/maximal")
+    delta = db.delta_for(min_support)
+    miner = get_algorithm(algorithm)
+    started = time.perf_counter()
+    patterns = miner(db.members(), delta, **options)
+    elapsed = time.perf_counter() - started
+    result = MiningResult(
+        patterns=patterns,
+        delta=delta,
+        algorithm=algorithm,
+        database_size=len(db),
+        elapsed_seconds=elapsed,
+        _vocabulary=db.vocabulary,
+    )
+    if closed:
+        result = _replace_patterns(result, result.closed_patterns())
+    elif maximal:
+        result = _replace_patterns(result, result.maximal_patterns())
+    if min_length is not None or max_length is not None:
+        lo = min_length if min_length is not None else 1
+        hi = max_length if max_length is not None else float("inf")
+        if lo < 1 or hi < lo:
+            raise InvalidParameterError(
+                f"invalid length bounds [{min_length}, {max_length}]"
+            )
+        result = _replace_patterns(
+            result,
+            {
+                raw: count
+                for raw, count in result.patterns.items()
+                if lo <= seq_length(raw) <= hi
+            },
+        )
+    return result
+
+
+def _replace_patterns(result: MiningResult, patterns: dict) -> MiningResult:
+    """A copy of *result* with a different pattern map."""
+    return MiningResult(
+        patterns=patterns,
+        delta=result.delta,
+        algorithm=result.algorithm,
+        database_size=result.database_size,
+        elapsed_seconds=result.elapsed_seconds,
+        _vocabulary=result._vocabulary,
+    )

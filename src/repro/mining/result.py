@@ -1,0 +1,219 @@
+"""Mining result container (system S20).
+
+A :class:`MiningResult` wraps the pattern -> support map every miner
+produces, together with the run's metadata, and offers the queries a
+downstream user needs: support lookup, filtering by length or prefix,
+maximal patterns, decoding through the database vocabulary, and exact
+comparison against another result (the property the test suite leans on:
+all miners must agree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator
+
+from repro.core.sequence import (
+    RawSequence,
+    Sequence,
+    contains,
+    flatten,
+    format_seq,
+    k_prefix,
+    parse,
+    seq_length,
+)
+
+
+@dataclass(frozen=True)
+class MiningResult:
+    """Frequent sequences of one mining run."""
+
+    patterns: dict[RawSequence, int]
+    delta: int
+    algorithm: str
+    database_size: int
+    elapsed_seconds: float = 0.0
+    _vocabulary: object = field(default=None, repr=False, compare=False)
+
+    # -- lookups -------------------------------------------------------------
+
+    def support(self, pattern: Sequence | RawSequence | str) -> int:
+        """Support count of *pattern*; 0 when it is not frequent."""
+        return self.patterns.get(self._raw_of(pattern), 0)
+
+    def __contains__(self, pattern: object) -> bool:
+        try:
+            raw = self._raw_of(pattern)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return False
+        return raw in self.patterns
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self) -> Iterator[Sequence]:
+        for raw in self.sorted_patterns():
+            yield Sequence.from_raw(raw)
+
+    @staticmethod
+    def _raw_of(pattern: Sequence | RawSequence | str) -> RawSequence:
+        if isinstance(pattern, Sequence):
+            return pattern.raw
+        if isinstance(pattern, str):
+            return parse(pattern)
+        return pattern
+
+    # -- views ---------------------------------------------------------------
+
+    def sorted_patterns(self) -> list[RawSequence]:
+        """All frequent sequences in comparative order, shortest first."""
+        return sorted(self.patterns, key=lambda raw: (seq_length(raw), flatten(raw)))
+
+    def of_length(self, k: int) -> dict[RawSequence, int]:
+        """Frequent k-sequences with their supports."""
+        return {
+            raw: count
+            for raw, count in self.patterns.items()
+            if seq_length(raw) == k
+        }
+
+    def max_length(self) -> int:
+        """Length of the longest frequent sequence (0 when none)."""
+        return max((seq_length(raw) for raw in self.patterns), default=0)
+
+    def length_histogram(self) -> dict[int, int]:
+        """Number of frequent sequences per length."""
+        histogram: dict[int, int] = {}
+        for raw in self.patterns:
+            length = seq_length(raw)
+            histogram[length] = histogram.get(length, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def closed_patterns(self) -> dict[RawSequence, int]:
+        """Frequent sequences with no super-pattern of equal support.
+
+        The closed set loses no information: every frequent sequence's
+        support is the maximum support among the closed patterns
+        containing it.
+        """
+        by_support: dict[int, list[RawSequence]] = {}
+        for raw, count in self.patterns.items():
+            by_support.setdefault(count, []).append(raw)
+        closed: dict[RawSequence, int] = {}
+        for count, group in by_support.items():
+            # A closer must have the same support (supersets can only
+            # have smaller-or-equal support), so compare within groups.
+            group_sorted = sorted(group, key=seq_length, reverse=True)
+            kept: list[RawSequence] = []
+            for raw in group_sorted:
+                if not any(contains(other, raw) for other in kept):
+                    kept.append(raw)
+                    closed[raw] = count
+        return closed
+
+    def maximal_patterns(self) -> dict[RawSequence, int]:
+        """Frequent sequences not contained in any longer frequent one."""
+        by_length = sorted(self.patterns, key=seq_length, reverse=True)
+        maximal: list[RawSequence] = []
+        result: dict[RawSequence, int] = {}
+        for raw in by_length:
+            if not any(contains(other, raw) for other in maximal):
+                maximal.append(raw)
+                result[raw] = self.patterns[raw]
+        return result
+
+    def support_of_items(self, itemsets: list[list[Hashable]]) -> int:
+        """Support of a pattern given in original (vocabulary) items.
+
+        Items absent from the vocabulary make the pattern trivially
+        infrequent, so 0 is returned rather than an error.
+        """
+        vocab = self._vocabulary
+        if vocab is None:
+            return self.support(tuple(tuple(sorted(txn)) for txn in itemsets))  # type: ignore[arg-type]
+        from repro.exceptions import InvalidDatabaseError
+
+        try:
+            raw = vocab.encode(itemsets)  # type: ignore[attr-defined]
+        except InvalidDatabaseError:
+            return 0
+        return self.support(raw)
+
+    def decoded(self) -> list[tuple[list[list[Hashable]], int]]:
+        """Patterns translated back through the database vocabulary."""
+        vocab = self._vocabulary
+        rows: list[tuple[list[list[Hashable]], int]] = []
+        for raw in self.sorted_patterns():
+            if vocab is None:
+                decoded = [list(txn) for txn in raw]
+            else:
+                decoded = vocab.decode(raw)  # type: ignore[attr-defined]
+            rows.append((decoded, self.patterns[raw]))
+        return rows
+
+    # -- comparisons -----------------------------------------------------------
+
+    def same_patterns(self, other: "MiningResult") -> bool:
+        """True when both runs found identical patterns with equal supports."""
+        return self.patterns == other.patterns
+
+    def difference(self, other: "MiningResult") -> dict[str, list[str]]:
+        """Human-readable diff against another result (debugging aid)."""
+        mine_keys = set(self.patterns)
+        their_keys = set(other.patterns)
+        return {
+            "only_here": [format_seq(raw) for raw in sorted(mine_keys - their_keys)],
+            "only_there": [format_seq(raw) for raw in sorted(their_keys - mine_keys)],
+            "support_mismatch": [
+                f"{format_seq(raw)}: {self.patterns[raw]} != {other.patterns[raw]}"
+                for raw in sorted(mine_keys & their_keys)
+                if self.patterns[raw] != other.patterns[raw]
+            ],
+        }
+
+    def render_tree(
+        self,
+        max_depth: int | None = None,
+        min_support: int | None = None,
+    ) -> str:
+        """The frequent sequences as an indented prefix tree.
+
+        Each pattern nests under its (k-1)-prefix; mining results are
+        downward-closed so every pattern has a parent in the map.
+        *max_depth* limits the pattern length shown, *min_support* hides
+        weaker branches.  Useful for eyeballing a result in a terminal.
+        """
+        children: dict[RawSequence | None, list[RawSequence]] = {}
+        for raw in self.patterns:
+            if min_support is not None and self.patterns[raw] < min_support:
+                continue
+            length = seq_length(raw)
+            if max_depth is not None and length > max_depth:
+                continue
+            parent = None if length == 1 else k_prefix(raw, length - 1)
+            children.setdefault(parent, []).append(raw)
+        for group in children.values():
+            group.sort(key=flatten)
+        lines: list[str] = []
+
+        def walk(parent: RawSequence | None, indent: int) -> None:
+            for raw in children.get(parent, ()):
+                lines.append(
+                    "  " * indent + f"{format_seq(raw)}: {self.patterns[raw]}"
+                )
+                walk(raw, indent + 1)
+
+        walk(None, 0)
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-paragraph human summary of the run."""
+        histogram = ", ".join(
+            f"L{length}: {count}" for length, count in self.length_histogram().items()
+        )
+        return (
+            f"{self.algorithm}: {len(self)} frequent sequences "
+            f"(delta={self.delta}, |DB|={self.database_size}, "
+            f"{self.elapsed_seconds:.3f}s) [{histogram or 'none'}]"
+        )

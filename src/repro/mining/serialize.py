@@ -1,0 +1,70 @@
+"""Saving and loading mining results (system S20).
+
+Results serialise to a small JSON document: run metadata plus one
+``[pattern, support]`` entry per frequent sequence, patterns as nested
+item lists.  The loader rebuilds a full :class:`MiningResult` (without
+the originating database's vocabulary — decoded item names are a
+property of the database, not the run).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.core.sequence import canonical
+from repro.exceptions import DataFormatError
+from repro.mining.result import MiningResult
+
+_FORMAT = "repro.mining-result"
+_VERSION = 1
+
+
+def save_result(result: MiningResult, target: str | Path | TextIO) -> None:
+    """Write *result* as JSON."""
+    payload = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "algorithm": result.algorithm,
+        "delta": result.delta,
+        "database_size": result.database_size,
+        "elapsed_seconds": result.elapsed_seconds,
+        "patterns": [
+            [[list(txn) for txn in raw], count]
+            for raw, count in sorted(result.patterns.items())
+        ],
+    }
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+    else:
+        json.dump(payload, target, indent=1)
+
+
+def load_result(source: str | Path | TextIO) -> MiningResult:
+    """Read a result written by :func:`save_result`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(source)
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise DataFormatError("not a repro mining-result document")
+    if payload.get("version") != _VERSION:
+        raise DataFormatError(
+            f"unsupported mining-result version {payload.get('version')!r}"
+        )
+    try:
+        patterns = {
+            canonical(entry[0]): int(entry[1]) for entry in payload["patterns"]
+        }
+        return MiningResult(
+            patterns=patterns,
+            delta=int(payload["delta"]),
+            algorithm=str(payload["algorithm"]),
+            database_size=int(payload["database_size"]),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        )
+    except (KeyError, TypeError, IndexError) as exc:
+        raise DataFormatError(f"malformed mining-result document: {exc}") from exc

@@ -1,0 +1,127 @@
+"""Mining-result verification (system S20).
+
+Independent checks that a pattern -> support map is internally and
+externally consistent.  Useful as a safety net when registering custom
+algorithms and as a debugging tool; the CLI exposes it as
+``repro verify``.
+
+Checks
+------
+
+1. **Support exactness** — recount each pattern's support by containment
+   scan (optionally on a sample, for large results).
+2. **Downward closure** — every (k-1)-prefix of a reported pattern is
+   reported, with support at least as large (true for frequent-pattern
+   results even though DISC itself does not *use* the property).
+3. **Threshold** — every reported support reaches delta.
+4. **Completeness (sampled)** — random extensions of reported patterns
+   that meet delta must themselves be reported.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.kminimum import build_extension, extension_pairs
+from repro.core.sequence import (
+    RawSequence,
+    format_seq,
+    k_prefix,
+    seq_length,
+    support_count,
+)
+
+
+@dataclass(slots=True)
+class VerificationReport:
+    """Outcome of :func:`verify_patterns`."""
+
+    checked_supports: int = 0
+    checked_prefixes: int = 0
+    checked_extensions: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        state = "OK" if self.ok else f"{len(self.errors)} ERRORS"
+        return (
+            f"verification {state}: {self.checked_supports} supports, "
+            f"{self.checked_prefixes} prefixes, "
+            f"{self.checked_extensions} extension probes"
+        )
+
+
+def verify_patterns(
+    patterns: dict[RawSequence, int],
+    sequences: list[RawSequence],
+    delta: int,
+    sample: int | None = None,
+    seed: int = 0,
+    max_errors: int = 20,
+) -> VerificationReport:
+    """Verify a pattern -> support map against the raw database.
+
+    *sample* bounds the number of patterns whose support is recounted
+    (None = all).  The report collects at most *max_errors* messages.
+    """
+    report = VerificationReport()
+    rng = random.Random(seed)
+    keys = list(patterns)
+    if sample is not None and len(keys) > sample:
+        keys = rng.sample(keys, sample)
+
+    def record(message: str) -> None:
+        if len(report.errors) < max_errors:
+            report.errors.append(message)
+
+    for pattern in keys:
+        count = patterns[pattern]
+        true_count = support_count(sequences, pattern)
+        report.checked_supports += 1
+        if count != true_count:
+            record(
+                f"support mismatch {format_seq(pattern)}: "
+                f"reported {count}, actual {true_count}"
+            )
+        if count < delta:
+            record(
+                f"below threshold {format_seq(pattern)}: {count} < {delta}"
+            )
+
+    for pattern in patterns:
+        length = seq_length(pattern)
+        if length <= 1:
+            continue
+        prefix = k_prefix(pattern, length - 1)
+        report.checked_prefixes += 1
+        if prefix not in patterns:
+            record(
+                f"missing prefix {format_seq(prefix)} of {format_seq(pattern)}"
+            )
+        elif patterns[prefix] < patterns[pattern]:
+            record(
+                f"anti-monotonicity violated: {format_seq(prefix)} "
+                f"({patterns[prefix]}) < {format_seq(pattern)} "
+                f"({patterns[pattern]})"
+            )
+
+    # Sampled completeness: grow random reported patterns by one item.
+    probes = min(len(patterns), sample if sample is not None else 200)
+    for pattern in rng.sample(list(patterns), probes) if patterns else []:
+        pairs = set()
+        for seq in sequences:
+            pairs |= extension_pairs(seq, pattern)
+        for pair in sorted(pairs):
+            grown = build_extension(pattern, pair)
+            count = support_count(sequences, grown)
+            report.checked_extensions += 1
+            if count >= delta and grown not in patterns:
+                record(
+                    f"missing frequent extension {format_seq(grown)} "
+                    f"(support {count})"
+                )
+    return report

@@ -1,0 +1,171 @@
+"""Unit tests for the k-sorted-database index backends.
+
+The locative AVL tree (the paper's structure) and the array-backed
+SortedKeyTable must behave identically; the parametrised tests exercise
+both through the shared interface, and the AVL-specific tests check the
+balance invariants.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.avl import LocativeAVLTree
+from repro.core.keytable import SortedKeyTable
+
+BACKENDS = [LocativeAVLTree, SortedKeyTable]
+
+
+@pytest.fixture(params=BACKENDS, ids=["avl", "table"])
+def index(request):
+    return request.param()
+
+
+class TestBasics:
+    def test_empty(self, index):
+        assert len(index) == 0
+        assert not index
+        with pytest.raises(KeyError):
+            index.min_key()
+        with pytest.raises(KeyError):
+            index.pop_min_bucket()
+
+    def test_insert_and_min(self, index):
+        index.insert(5, "e")
+        index.insert(3, "c")
+        index.insert(7, "g")
+        assert len(index) == 3
+        assert index.min_key() == 3
+        key, bucket = index.min_bucket()
+        assert key == 3 and bucket == ["c"]
+
+    def test_buckets_accumulate_in_order(self, index):
+        index.insert(1, "first")
+        index.insert(1, "second")
+        assert len(index) == 2
+        assert index.num_keys == 1
+        assert index.get(1) == ["first", "second"]
+        assert index.get(2) is None
+
+    def test_iteration_sorted(self, index):
+        for key in [4, 2, 9, 2, 7]:
+            index.insert(key, key * 10)
+        assert list(index.keys()) == [2, 4, 7, 9]
+        assert list(index.entries()) == [20, 20, 40, 70, 90]
+        assert [k for k, _ in index.items()] == [2, 4, 7, 9]
+
+
+class TestRankSelection:
+    def test_rank_counts_entries_not_keys(self, index):
+        index.insert("a", 1)
+        index.insert("a", 2)
+        index.insert("b", 3)
+        index.insert("b", 4)
+        index.insert("b", 5)
+        assert index.key_at_rank(1) == "a"
+        assert index.key_at_rank(2) == "a"
+        assert index.key_at_rank(3) == "b"
+        assert index.key_at_rank(5) == "b"
+
+    def test_rank_bounds(self, index):
+        index.insert(1, "x")
+        with pytest.raises(IndexError):
+            index.key_at_rank(0)
+        with pytest.raises(IndexError):
+            index.key_at_rank(2)
+
+    def test_rank_matches_sorted_order_random(self, index):
+        rng = random.Random(31)
+        entries = []
+        for _ in range(300):
+            key = rng.randint(0, 40)
+            index.insert(key, key)
+            entries.append(key)
+        entries.sort()
+        for rank in range(1, len(entries) + 1):
+            assert index.key_at_rank(rank) == entries[rank - 1]
+
+
+class TestRemoval:
+    def test_pop_min_bucket(self, index):
+        for key in [3, 1, 2, 1]:
+            index.insert(key, key)
+        key, bucket = index.pop_min_bucket()
+        assert key == 1 and bucket == [1, 1]
+        assert len(index) == 2
+        assert index.min_key() == 2
+
+    def test_pop_while_less(self, index):
+        for key in [5, 1, 3, 7, 3]:
+            index.insert(key, key)
+        removed = index.pop_while_less(5)
+        assert [k for k, _ in removed] == [1, 3]
+        assert sum(len(b) for _, b in removed) == 3
+        assert len(index) == 2
+        assert index.min_key() == 5
+
+    def test_pop_while_less_nothing(self, index):
+        index.insert(5, "x")
+        assert index.pop_while_less(5) == []
+        assert len(index) == 1
+
+    def test_interleaved_random_ops_match_reference(self, index):
+        rng = random.Random(32)
+        reference: list[tuple[int, int]] = []  # sorted (key, value)
+        for step in range(400):
+            op = rng.random()
+            if op < 0.6 or not reference:
+                key = rng.randint(0, 25)
+                index.insert(key, step)
+                reference.append((key, step))
+                reference.sort(key=lambda kv: kv[0])
+            elif op < 0.8:
+                key, bucket = index.pop_min_bucket()
+                expect = [v for k, v in reference if k == key]
+                assert sorted(bucket) == sorted(expect)
+                reference = [(k, v) for k, v in reference if k != key]
+            else:
+                bound = rng.randint(0, 25)
+                removed = index.pop_while_less(bound)
+                removed_keys = {k for k, _ in removed}
+                assert removed_keys == {k for k, _ in reference if k < bound}
+                reference = [(k, v) for k, v in reference if k >= bound]
+            assert len(index) == len(reference)
+            if reference:
+                assert index.min_key() == reference[0][0]
+            index.check_invariants()
+
+
+class TestAVLSpecific:
+    def test_balance_under_sorted_insertion(self):
+        tree = LocativeAVLTree()
+        for key in range(200):
+            tree.insert(key, key)
+        tree.check_invariants()
+        # A balanced tree of 200 keys has height <= 1.44 log2(201) ~ 11.
+        assert tree._root is not None and tree._root.height <= 11
+
+    def test_balance_under_reverse_insertion(self):
+        tree = LocativeAVLTree()
+        for key in reversed(range(200)):
+            tree.insert(key, key)
+        tree.check_invariants()
+
+    def test_invariant_checker_detects_corruption(self):
+        tree = LocativeAVLTree()
+        for key in [2, 1, 3]:
+            tree.insert(key, key)
+        tree._root.count = 99  # type: ignore[union-attr]
+        with pytest.raises(AssertionError):
+            tree.check_invariants()
+
+
+class TestKeyTableSpecific:
+    def test_invariant_checker_detects_corruption(self):
+        table = SortedKeyTable()
+        table.insert(1, "a")
+        table._size = 5
+        with pytest.raises(AssertionError):
+            table.check_invariants()

@@ -1,0 +1,123 @@
+"""Smoke tests for the experiment harness at the smoke scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.harness import SCALES, ExperimentResult, run_experiment
+from repro.bench.reporting import format_cell, render_series, render_table
+
+
+class TestReporting:
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell(0.0) == "0"
+        assert format_cell(1.23456) == "1.235"
+        assert format_cell(12345.6) == "12346"
+        assert format_cell("x") == "x"
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bbb"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+        assert len(lines) == 5
+
+    def test_render_series(self):
+        text = render_series("F", "x", [1, 2], {"algo": [0.5, 0.7]})
+        assert "algo" in text and "0.5" in text
+
+    def test_render_empty_rows(self):
+        text = render_table(["h"], [])
+        assert "h" in text
+
+
+class TestHarness:
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="fig8"):
+            run_experiment("nope")
+
+    def test_scales_registered(self):
+        assert set(SCALES) == {"repro", "smoke", "large", "paper"}
+
+    def test_experiment_registry_covers_every_table_and_figure(self):
+        assert set(EXPERIMENTS) == {
+            "fig8", "fig9", "fig10", "table12", "table13", "table14", "ablation", "memory", "operations",
+        }
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_runs_at_smoke_scale(name):
+    result = run_experiment(name, scale="smoke")
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, name
+    assert all(len(row) == len(result.headers) for row in result.rows)
+    rendered = result.render()
+    assert result.paper_reference in rendered
+
+
+class TestJsonOutput:
+    def test_to_dict_roundtrips_through_json(self):
+        import json
+
+        result = run_experiment("table12", scale="smoke")
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["experiment"] == "table12"
+        assert payload["headers"] == result.headers
+        assert len(payload["rows"]) == len(result.rows)
+
+    def test_cli_json_flag(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(["experiment", "table12", "--scale", "smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["experiment"] == "table12"
+
+
+class TestMemoryMeasurement:
+    def test_peak_memory_positive_and_counts_patterns(self, table1_db=None):
+        from repro.bench.memory import peak_memory_bytes
+        from repro.db.database import SequenceDatabase
+
+        db = SequenceDatabase.from_texts(
+            ["(a, e, g)(b)(h)(f)(c)(b, f)", "(b)(d, f)(e)", "(b, f, g)",
+             "(f)(a, g)(b, f, h)(b, f)"]
+        )
+        peak, n_patterns = peak_memory_bytes(db, 2, "disc-all")
+        assert peak > 0
+        assert n_patterns == 56
+
+    def test_tracemalloc_stopped_after_run(self):
+        import tracemalloc
+
+        from repro.bench.memory import peak_memory_bytes
+        from repro.db.database import SequenceDatabase
+
+        db = SequenceDatabase.from_texts(["(a)(b)"])
+        peak_memory_bytes(db, 1, "prefixspan")
+        assert not tracemalloc.is_tracing()
+
+
+class TestOperationCounters:
+    def test_gsp_counters_reset_per_run(self, table1_members=None):
+        from repro.baselines import gsp
+        from repro.core.sequence import parse
+
+        members = [(1, parse("(a)(b)")), (2, parse("(a)(b)"))]
+        gsp.mine_gsp(members, 2)
+        first = dict(gsp.last_run_stats)
+        assert first["candidates_generated"] > 0
+        gsp.mine_gsp(members, 2)
+        assert gsp.last_run_stats == first  # deterministic and reset
+
+    def test_prefixspan_projections_equal_frequent_patterns(self):
+        from repro.baselines import prefixspan
+        from repro.core.sequence import parse
+
+        members = [(1, parse("(a)(b)(c)")), (2, parse("(a)(b)(c)"))]
+        patterns = prefixspan.mine_prefixspan(members, 2)
+        # One projected database per frequent pattern.
+        assert prefixspan.last_run_stats["projections_built"] == len(patterns)

@@ -1,0 +1,80 @@
+"""Tests for the CloSpan-style closed miner (repro.ext.closed)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ext.closed import mine_closed
+from repro.mining.api import mine
+from repro.core.sequence import contains, parse
+from repro.db.database import SequenceDatabase
+from tests.conftest import random_database
+
+
+class TestMineClosed:
+    def test_matches_postprocessing_oracle_random(self):
+        rng = random.Random(211)
+        for _ in range(60):
+            db = random_database(rng)
+            delta = rng.randint(1, max(1, len(db)))
+            oracle = mine(db, delta, closed=True).patterns
+            assert mine_closed(db.members(), delta) == oracle
+
+    def test_single_item_elements(self):
+        """The dense single-item case CloSpan's pruning targets: long
+        shared suffixes collapse to one closed pattern."""
+        db = SequenceDatabase.from_texts(
+            ["(a)(b)(c)(d)(e)"] * 4 + ["(x)(b)(c)(d)(e)"] * 4
+        )
+        closed = mine_closed(db.members(), 4)
+        full = mine(db, 4)
+        assert closed == full.closed_patterns()
+        # <(b)(c)(d)(e)> is closed with support 8; its sub-patterns that
+        # appear in all 8 sequences are absorbed.
+        assert closed[parse("(b)(c)(d)(e)")] == 8
+        assert parse("(c)(d)") not in closed
+
+    def test_itemset_last_element_regression(self):
+        """Regression for the itemset-sequence unsoundness of the naive
+        CloSpan key: <(4)(3, 4)> must survive (see module docstring)."""
+        db = SequenceDatabase.from_raw([
+            [[4], [1, 3, 4], [2, 4], [2], [4]],
+            [[1, 3, 4], [1, 3], [1], [2, 3, 4], [1]],
+        ])
+        closed = mine_closed(db.members(), 1)
+        assert closed == mine(db, 1, closed=True).patterns
+        assert parse("(d)(c, d)") in closed  # <(4)(3,4)> with a=1
+
+    def test_closed_definition_holds(self):
+        rng = random.Random(212)
+        for _ in range(20):
+            db = random_database(rng)
+            delta = rng.randint(1, max(1, len(db) // 2))
+            closed = mine_closed(db.members(), delta)
+            for pattern, support in closed.items():
+                assert not any(
+                    other != pattern
+                    and other_support == support
+                    and contains(other, pattern)
+                    for other, other_support in closed.items()
+                )
+
+    def test_on_quest_data(self):
+        from repro.datagen import QuestParams, generate
+
+        db = generate(
+            QuestParams(ncust=100, slen=5, tlen=2.5, nitems=60, patlen=4,
+                        npats=30, nlits=40, seed=26)
+        )
+        closed = mine_closed(db.members(), db.delta_for(0.1))
+        oracle = mine(db, 0.1, closed=True)
+        assert closed == oracle.patterns
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            mine_closed([], 0)
+
+    def test_empty_database(self):
+        assert mine_closed([], 2) == {}

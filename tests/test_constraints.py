@@ -1,0 +1,165 @@
+"""Tests for constrained mining (repro.ext.constraints)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.core.sequence import all_k_subsequences, parse, seq_length
+from repro.exceptions import InvalidParameterError
+from repro.ext.constraints import (
+    Constraints,
+    contains_constrained,
+    mine_constrained,
+)
+from tests.conftest import random_database, random_sequence
+
+
+def brute_contains(seq, pattern, c):
+    """Oracle containment: enumerate every embedding."""
+    def embeddings(index, prev, first):
+        if index == len(pattern):
+            return True
+        for t in range(0, len(seq)):
+            if not set(pattern[index]).issubset(seq[t]):
+                continue
+            if index > 0:
+                gap = t - prev
+                if gap < c.min_gap:
+                    continue
+                if c.max_gap is not None and gap > c.max_gap:
+                    continue
+            if c.max_span is not None and index > 0 and t - first > c.max_span:
+                continue
+            if embeddings(index + 1, t, first if index > 0 else t):
+                return True
+        return False
+
+    return embeddings(0, -1, -1)
+
+
+class TestContainsConstrained:
+    def test_matches_oracle_random(self):
+        rng = random.Random(141)
+        for _ in range(120):
+            seq = random_sequence(rng, max_transactions=5, max_itemset=2)
+            k = rng.randint(1, min(4, seq_length(seq)))
+            pattern = rng.choice(sorted(all_k_subsequences(seq, k)))
+            c = Constraints(
+                max_gap=rng.choice([None, 1, 2]),
+                min_gap=rng.choice([1, 2]),
+                max_span=rng.choice([None, 1, 2, 3]),
+            )
+            if c.max_gap is not None and c.max_gap < c.min_gap:
+                continue
+            assert contains_constrained(seq, pattern, c) == brute_contains(
+                seq, pattern, c
+            ), (seq, pattern, c)
+
+    def test_greedy_is_insufficient_case(self):
+        """The leftmost host of (a) strands (b) under max_gap=1; only
+        backtracking to the second (a) finds the embedding."""
+        seq = parse("(a)(c)(a)(b)")
+        pattern = parse("(a)(b)")
+        assert contains_constrained(seq, pattern, Constraints(max_gap=1))
+
+    def test_max_gap_excludes_distant_pairs(self):
+        seq = parse("(a)(c)(c)(b)")
+        assert not contains_constrained(seq, parse("(a)(b)"), Constraints(max_gap=2))
+        assert contains_constrained(seq, parse("(a)(b)"), Constraints(max_gap=3))
+
+    def test_min_gap_requires_distance(self):
+        seq = parse("(a)(b)(b)")
+        assert contains_constrained(seq, parse("(a)(b)"), Constraints(min_gap=2))
+        assert not contains_constrained(
+            parse("(a)(b)"), parse("(a)(b)"), Constraints(min_gap=2)
+        )
+
+    def test_max_span_limits_total_stretch(self):
+        seq = parse("(a)(b)(c)")
+        c = Constraints(max_span=1)
+        assert contains_constrained(seq, parse("(a)(b)"), c)
+        assert not contains_constrained(seq, parse("(a)(c)"), c)
+        assert not contains_constrained(seq, parse("(a)(b)(c)"), c)
+
+    def test_empty_pattern(self):
+        assert contains_constrained(parse("(a)"), (), Constraints())
+
+
+class TestConstraintsValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_gap": 0},
+            {"max_gap": 1, "min_gap": 2},
+            {"max_span": -1},
+            {"max_length": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            Constraints(**kwargs).validate()
+
+    def test_unconstrained_flag(self):
+        assert Constraints().unconstrained
+        assert not Constraints(max_gap=2).unconstrained
+
+
+class TestMineConstrained:
+    def test_default_equals_plain_mining(self):
+        rng = random.Random(142)
+        for _ in range(20):
+            db = random_database(rng, max_customers=8)
+            members = db.members()
+            delta = rng.randint(1, max(1, len(members) // 2))
+            assert mine_constrained(members, delta) == mine_bruteforce(
+                members, delta
+            )
+
+    def test_matches_constrained_oracle(self):
+        rng = random.Random(143)
+        for _ in range(20):
+            db = random_database(
+                rng, max_customers=6, max_transactions=4, max_itemset=2
+            )
+            members = db.members()
+            raws = [raw for _, raw in members]
+            delta = rng.randint(1, max(1, len(members) // 2))
+            c = Constraints(max_gap=rng.choice([1, 2]), max_span=rng.choice([2, 3]))
+            got = mine_constrained(members, delta, c)
+            # Oracle: all subsequences, constrained recount.
+            pool = set()
+            for raw in raws:
+                for k in range(1, seq_length(raw) + 1):
+                    pool |= all_k_subsequences(raw, k)
+            expected = {}
+            for pattern in pool:
+                count = sum(
+                    1 for raw in raws if contains_constrained(raw, pattern, c)
+                )
+                if count >= delta:
+                    expected[pattern] = count
+            assert got == expected
+
+    def test_max_length_cuts_results(self, table1_members):
+        patterns = mine_constrained(
+            table1_members, 2, Constraints(max_length=2)
+        )
+        assert patterns
+        assert all(seq_length(p) <= 2 for p in patterns)
+        unbounded = mine_bruteforce(table1_members, 2)
+        assert patterns == {
+            p: c for p, c in unbounded.items() if seq_length(p) <= 2
+        }
+
+    def test_delta_validation(self):
+        with pytest.raises(InvalidParameterError):
+            mine_constrained([], 0)
+
+    def test_tight_gap_prunes_patterns(self, table1_members):
+        tight = mine_constrained(table1_members, 2, Constraints(max_gap=1))
+        loose = mine_bruteforce(table1_members, 2)
+        assert set(tight) <= set(loose)
+        assert len(tight) < len(loose)

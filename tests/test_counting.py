@@ -1,0 +1,102 @@
+"""Unit tests for counting arrays (repro.core.counting)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.counting import CountingArray, count_frequent_items
+from repro.core.sequence import flatten, k_prefix, parse, seq_length, support_count
+from repro.core.sequence import all_k_subsequences
+from tests.conftest import random_database
+
+
+class TestCountingArray:
+    def test_last_cid_deduplicates_repetitions(self):
+        # <(a)(b)> occurs twice in one customer sequence: counted once.
+        array = CountingArray(parse("(a)"))
+        array.observe(1, parse("(a)(b)(b)"))
+        assert array.support((2, 2)) == 1
+
+    def test_separate_customers_accumulate(self):
+        array = CountingArray(parse("(a)"))
+        array.observe(1, parse("(a)(b)"))
+        array.observe(2, parse("(a)(b)"))
+        assert array.support((2, 2)) == 2
+        assert array.last_cids()[(2, 2)] == 2
+
+    def test_support_of_unseen_pair(self):
+        array = CountingArray(parse("(a)"))
+        assert array.support((9, 2)) == 0
+
+    def test_frequent_materialises_patterns(self):
+        array = CountingArray(parse("(a)"))
+        for cid in (1, 2, 3):
+            array.observe(cid, parse("(a, b)(c)"))
+        frequent = dict(array.frequent(3))
+        assert frequent == {parse("(a, b)"): 3, parse("(a)(c)"): 3}
+
+    def test_counts_match_true_supports_random(self):
+        """The one-scan counting array equals brute-force support counts
+        for every (k+1)-extension of the prefix."""
+        rng = random.Random(41)
+        for _ in range(40):
+            db = random_database(rng)
+            members = db.members()
+            # Pick a prefix present somewhere in the data.
+            raws = [raw for _, raw in members]
+            k = rng.randint(1, 2)
+            pool = sorted(
+                {sub for raw in raws for sub in all_k_subsequences(raw, k)},
+                key=flatten,
+            )
+            if not pool:
+                continue
+            prefix = rng.choice(pool)
+            array = CountingArray(prefix)
+            array.observe_all(members)
+            for pattern, count in array.frequent(1):
+                assert count == support_count(raws, pattern), pattern
+                assert seq_length(pattern) == k + 1
+                assert k_prefix(pattern, k) == prefix
+
+    def test_completeness_random(self):
+        """Every (k+1)-sequence with the prefix and support >= 1 shows up."""
+        rng = random.Random(42)
+        for _ in range(30):
+            db = random_database(rng, max_customers=8)
+            members = db.members()
+            raws = [raw for _, raw in members]
+            anchor = min(item for txn in raws[0] for item in txn)
+            prefix = ((anchor,),)  # 1-sequence of the first customer's min item
+            array = CountingArray(prefix)
+            array.observe_all(members)
+            found = {p for p, _ in array.frequent(1)}
+            expected = {
+                sub
+                for raw in raws
+                for sub in all_k_subsequences(raw, 2)
+                if k_prefix(sub, 1) == prefix
+            }
+            assert found == expected
+
+    def test_empty_prefix_counts_items(self):
+        array = CountingArray(())
+        array.observe(1, parse("(a, b)"))
+        array.observe(2, parse("(b)(b)"))
+        assert dict(array.frequent(1)) == {
+            parse("(a)"): 1,
+            parse("(b)"): 2,
+        }
+
+
+class TestCountFrequentItems:
+    def test_per_customer_dedup(self):
+        members = [(1, parse("(a)(a)(a)")), (2, parse("(a, b)"))]
+        assert count_frequent_items(members, 1) == {1: 2, 2: 1}
+
+    def test_threshold(self):
+        members = [(1, parse("(a)")), (2, parse("(a, b)"))]
+        assert count_frequent_items(members, 2) == {1: 2}
+
+    def test_empty_database(self):
+        assert count_frequent_items([], 1) == {}

@@ -1,0 +1,140 @@
+"""Tests for the database container, vocabulary and statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import SequenceDatabase
+from repro.db.stats import compute_stats
+from repro.db.vocabulary import Vocabulary
+from repro.core.sequence import parse
+from repro.exceptions import InvalidDatabaseError, InvalidParameterError
+
+
+class TestSequenceDatabase:
+    def test_from_texts(self, table1_db):
+        assert len(table1_db) == 4
+        assert table1_db[1] == parse("(a, e, g)(b)(h)(f)(c)(b, f)")
+
+    def test_cid_is_one_based(self, table1_db):
+        assert table1_db[4] == parse("(f)(a, g)(b, f, h)(b, f)")
+        with pytest.raises(InvalidDatabaseError):
+            table1_db[0]
+        with pytest.raises(InvalidDatabaseError):
+            table1_db[5]
+
+    def test_members_shape(self, table1_db):
+        members = table1_db.members()
+        assert members[0][0] == 1
+        assert members[-1][0] == 4
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(InvalidDatabaseError):
+            SequenceDatabase([()])
+
+    def test_rejects_malformed_sequence(self):
+        from repro.exceptions import InvalidSequenceError
+
+        with pytest.raises(InvalidSequenceError):
+            SequenceDatabase([((2, 1),)])
+
+    def test_from_raw_canonicalises(self):
+        db = SequenceDatabase.from_raw([[[3, 1], [2, 2]]])
+        assert db[1] == ((1, 3), (2,))
+
+    def test_from_itemsets_builds_vocabulary(self):
+        db = SequenceDatabase.from_itemsets(
+            [[["milk", "bread"], ["eggs"]], [["bread"]]]
+        )
+        assert db.vocabulary is not None
+        assert len(db.vocabulary) == 3
+        decoded = db.vocabulary.decode(db[1])
+        assert [sorted(t) for t in decoded] == [["bread", "milk"], ["eggs"]]
+
+    def test_equality_and_hash(self, table1_db):
+        other = SequenceDatabase.from_texts(
+            ["(a, e, g)(b)(h)(f)(c)(b, f)", "(b)(d, f)(e)", "(b, f, g)", "(f)(a, g)(b, f, h)(b, f)"]
+        )
+        assert table1_db == other
+        assert hash(table1_db) == hash(other)
+
+    def test_repr(self, table1_db):
+        assert "4 sequences" in repr(table1_db)
+
+
+class TestDeltaFor:
+    def test_absolute_count(self, table1_db):
+        assert table1_db.delta_for(2) == 2
+
+    def test_fraction_rounds_up(self, table1_db):
+        assert table1_db.delta_for(0.5) == 2
+        assert table1_db.delta_for(0.51) == 3
+
+    def test_minimum_one(self, table1_db):
+        assert table1_db.delta_for(0.01) == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5, 1.5, True])
+    def test_invalid(self, table1_db, bad):
+        with pytest.raises(InvalidParameterError):
+            table1_db.delta_for(bad)
+
+
+class TestStats:
+    def test_table1_statistics(self, table1_db):
+        stats = table1_db.stats
+        assert stats.num_sequences == 4
+        assert stats.num_distinct_items == 8
+        assert stats.total_transactions == 14
+        assert stats.total_items == 24
+        assert stats.max_length == 9
+        assert stats.avg_transactions == pytest.approx(3.5)
+        assert stats.avg_items_per_transaction == pytest.approx(24 / 14)
+        assert stats.avg_length == pytest.approx(6.0)
+
+    def test_empty(self):
+        stats = compute_stats([])
+        assert stats.num_sequences == 0
+        assert stats.avg_transactions == 0.0
+        assert stats.avg_items_per_transaction == 0.0
+        assert stats.avg_length == 0.0
+
+    def test_max_sequence_length(self, table1_db):
+        assert table1_db.max_sequence_length() == 9
+
+
+class TestVocabulary:
+    def test_sorted_ids(self):
+        vocab = Vocabulary.from_items(["c", "a", "b"])
+        assert vocab.id_of("a") == 1
+        assert vocab.id_of("b") == 2
+        assert vocab.id_of("c") == 3
+
+    def test_unsortable_falls_back_to_insertion(self):
+        vocab = Vocabulary.from_items(["a", 1])
+        assert vocab.id_of("a") == 1
+        assert vocab.id_of(1) == 2
+
+    def test_add_idempotent(self):
+        vocab = Vocabulary()
+        assert vocab.add("x") == 1
+        assert vocab.add("x") == 1
+        assert len(vocab) == 1
+
+    def test_unknown_lookups_raise(self):
+        vocab = Vocabulary()
+        with pytest.raises(InvalidDatabaseError):
+            vocab.id_of("missing")
+        with pytest.raises(InvalidDatabaseError):
+            vocab.item_of(1)
+
+    def test_encode_decode_roundtrip(self):
+        vocab = Vocabulary.from_items(["x", "y", "z"])
+        raw = vocab.encode([["z", "x"], ["y"]])
+        assert raw == ((1, 3), (2,))
+        assert vocab.decode(raw) == [["x", "z"], ["y"]]
+
+    def test_contains_and_iter(self):
+        vocab = Vocabulary.from_items(["b", "a"])
+        assert "a" in vocab
+        assert "q" not in vocab
+        assert list(vocab) == ["a", "b"]

@@ -1,0 +1,155 @@
+"""Unit tests for the DISC discovery procedure (repro.core.disc)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.disc import discover_frequent_k
+from repro.core.kminimum import SortedFrequentList
+from repro.core.sequence import (
+    all_k_subsequences,
+    flatten,
+    k_prefix,
+    parse,
+    seq_length,
+    support_count,
+)
+from repro.core.sorted_db import KSortedDatabase, SortedEntry
+from tests.conftest import random_database
+
+
+def brute_frequent_k(raws, k, delta, prefixes):
+    """Ground truth: frequent k-sequences whose (k-1)-prefix is allowed."""
+    prefix_keys = {flatten(p) for p in prefixes}
+    candidates = {
+        sub
+        for raw in raws
+        for sub in all_k_subsequences(raw, k)
+        if flatten(k_prefix(sub, k - 1)) in prefix_keys
+    }
+    return {
+        cand: support_count(raws, cand)
+        for cand in candidates
+        if support_count(raws, cand) >= delta
+    }
+
+
+class TestDiscovery:
+    @pytest.mark.parametrize("backend", ["table", "avl"])
+    def test_matches_bruteforce_random(self, backend):
+        rng = random.Random(51)
+        for _ in range(40):
+            db = random_database(rng, max_customers=10)
+            members = db.members()
+            raws = [raw for _, raw in members]
+            k = rng.randint(2, 4)
+            delta = rng.randint(1, max(1, len(raws) // 2))
+            # Frequent (k-1)-sequences as the sorted list (what the
+            # DISC-all driver feeds the discovery procedure).
+            lower = {
+                sub
+                for raw in raws
+                for sub in all_k_subsequences(raw, k - 1)
+            }
+            flist_seqs = [s for s in lower if support_count(raws, s) >= delta]
+            if not flist_seqs:
+                continue
+            flist = SortedFrequentList(flist_seqs)
+            result = discover_frequent_k(members, flist, delta, backend=backend)
+            expected = brute_frequent_k(raws, k, delta, flist_seqs)
+            assert result.frequent_k == expected
+
+    def test_bilevel_matches_two_plain_passes(self):
+        rng = random.Random(52)
+        for _ in range(25):
+            db = random_database(rng, max_customers=10)
+            members = db.members()
+            raws = [raw for _, raw in members]
+            delta = rng.randint(1, max(1, len(raws) // 2))
+            k = 2
+            flist_seqs = [
+                s
+                for s in {
+                    sub for raw in raws for sub in all_k_subsequences(raw, k - 1)
+                }
+                if support_count(raws, s) >= delta
+            ]
+            if not flist_seqs:
+                continue
+            flist = SortedFrequentList(flist_seqs)
+            both = discover_frequent_k(members, flist, delta, bilevel=True)
+            plain_k = discover_frequent_k(members, flist, delta, bilevel=False)
+            assert both.frequent_k == plain_k.frequent_k
+            if both.frequent_k:
+                next_flist = SortedFrequentList(both.frequent_k)
+                plain_k1 = discover_frequent_k(members, next_flist, delta, bilevel=False)
+                assert both.frequent_k_plus_1 == plain_k1.frequent_k
+
+    def test_supports_are_exact(self, table7_members):
+        flist = SortedFrequentList(
+            [parse("(a)(a, e)"), parse("(a)(a, g)"), parse("(a)(a, h)")]
+        )
+        result = discover_frequent_k(table7_members, flist, 3)
+        raws = [raw for _, raw in table7_members]
+        for pattern, count in result.frequent_k.items():
+            assert count == support_count(raws, pattern)
+
+    def test_empty_flist(self, table7_members):
+        result = discover_frequent_k(table7_members, SortedFrequentList([]), 2)
+        assert result.frequent_k == {}
+        assert result.comparisons == 0
+
+    def test_delta_larger_than_partition(self, table7_members):
+        flist = SortedFrequentList([parse("(a)(a, e)")])
+        result = discover_frequent_k(table7_members, flist, 100)
+        assert result.frequent_k == {}
+
+    def test_delta_validation(self, table7_members):
+        with pytest.raises(ValueError):
+            discover_frequent_k(table7_members, SortedFrequentList([]), 0)
+
+    def test_delta_one_every_member_frequent(self):
+        members = [(1, parse("(a)(b, c)(c)"))]
+        flist = SortedFrequentList([parse("(a)(b)")])
+        result = discover_frequent_k(members, flist, 1)
+        assert result.frequent_k == {
+            parse("(a)(b)(c)"): 1,
+            parse("(a)(b, c)"): 1,
+        }
+
+    def test_comparisons_counted(self, table7_members):
+        flist = SortedFrequentList(
+            [parse("(a)(a, e)"), parse("(a)(a, g)"), parse("(a)(a, h)")]
+        )
+        result = discover_frequent_k(table7_members, flist, 3)
+        assert result.comparisons >= 1
+
+
+class TestKSortedDatabase:
+    def test_drops_members_without_frequent_prefix(self):
+        flist = SortedFrequentList([parse("(z)")])
+        sdb = KSortedDatabase([(1, parse("(a)(b)"))], flist)
+        assert len(sdb) == 0
+
+    def test_candidate_and_condition(self, table7_members):
+        flist = SortedFrequentList(
+            [parse("(a)(a, e)"), parse("(a)(a, g)"), parse("(a)(a, h)")]
+        )
+        sdb = KSortedDatabase(table7_members, flist)
+        assert sdb.candidate() == parse("(a)(a, e)(c)")
+        assert sdb.condition(3) == parse("(a)(a, e, g)")
+
+    def test_pop_below(self, table7_members):
+        flist = SortedFrequentList(
+            [parse("(a)(a, e)"), parse("(a)(a, g)"), parse("(a)(a, h)")]
+        )
+        sdb = KSortedDatabase(table7_members, flist)
+        removed = sdb.pop_below(flatten(parse("(a)(a, e, g)")))
+        assert [entry.cid for entry in removed] == [3]
+        assert len(sdb) == 5
+
+    def test_entry_kmin_property(self):
+        entry = SortedEntry(1, parse("(a)(b)"), flatten(parse("(a)(b)")), 0)
+        assert entry.kmin == parse("(a)(b)")

@@ -1,0 +1,119 @@
+"""Property-based tests for the extension modules (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.core.sequence import contains, flatten, seq_length
+from repro.ext.constraints import Constraints, contains_constrained, mine_constrained
+from repro.ext.rules import generate_rules
+from repro.ext.topk import mine_topk
+from repro.ext.weighted import mine_weighted, pattern_weight
+
+items = st.integers(min_value=1, max_value=5)
+transactions = st.frozensets(items, min_size=1, max_size=3).map(
+    lambda s: tuple(sorted(s))
+)
+sequences = st.lists(transactions, min_size=1, max_size=4).map(tuple)
+databases = st.lists(sequences, min_size=1, max_size=8)
+
+
+# -- constraints ---------------------------------------------------------------
+
+
+@given(databases, st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_unconstrained_mining_equals_plain(raws, delta):
+    members = list(enumerate(raws, 1))
+    assert mine_constrained(members, delta) == mine_bruteforce(members, delta)
+
+
+@given(
+    databases,
+    st.integers(1, 3),
+    st.integers(1, 3),
+)
+@settings(max_examples=30, deadline=None)
+def test_tighter_max_gap_shrinks_results(raws, delta, max_gap):
+    members = list(enumerate(raws, 1))
+    tight = mine_constrained(members, delta, Constraints(max_gap=max_gap))
+    loose = mine_constrained(members, delta, Constraints(max_gap=max_gap + 1))
+    assert set(tight) <= set(loose)
+    for pattern, count in tight.items():
+        assert count <= loose[pattern]
+
+
+@given(sequences, st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_constrained_containment_implies_plain(seq, max_gap):
+    from repro.core.sequence import all_k_subsequences
+
+    constraints = Constraints(max_gap=max_gap)
+    for k in range(1, min(4, seq_length(seq)) + 1):
+        for pattern in all_k_subsequences(seq, k):
+            if contains_constrained(seq, pattern, constraints):
+                assert contains(seq, pattern)
+
+
+# -- top-k ---------------------------------------------------------------------
+
+
+@given(databases, st.integers(1, 10))
+@settings(max_examples=25, deadline=None)
+def test_topk_is_ranking_prefix(raws, k):
+    members = list(enumerate(raws, 1))
+    full = mine_bruteforce(members, 1)
+    ranked = sorted(full.items(), key=lambda pc: (-pc[1], flatten(pc[0])))
+    assert mine_topk(members, k) == ranked[:k]
+
+
+@given(databases, st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_topk_monotone_in_k(raws, k):
+    members = list(enumerate(raws, 1))
+    smaller = mine_topk(members, k)
+    larger = mine_topk(members, k + 3)
+    assert larger[: len(smaller)] == smaller
+
+
+# -- weighted -------------------------------------------------------------------
+
+
+@given(databases, st.floats(min_value=0.5, max_value=4.0))
+@settings(max_examples=25, deadline=None)
+def test_weighted_uniform_weights_reduce_to_threshold(raws, tau):
+    members = list(enumerate(raws, 1))
+    import math
+
+    result = mine_weighted(members, {}, tau)
+    delta = max(1, math.ceil(tau))
+    plain = mine_bruteforce(members, delta)
+    assert {p: c for p, (c, _) in result.patterns.items()} == plain
+
+
+@given(databases)
+@settings(max_examples=25, deadline=None)
+def test_weighted_supports_consistent(raws):
+    members = list(enumerate(raws, 1))
+    weights = {1: 2.0, 2: 0.5}
+    result = mine_weighted(members, weights, tau=1.0)
+    for pattern, (count, wsup) in result.patterns.items():
+        assert wsup == count * pattern_weight(pattern, weights)
+        assert wsup >= 1.0
+
+
+# -- rules ----------------------------------------------------------------------
+
+
+@given(databases, st.integers(1, 3))
+@settings(max_examples=25, deadline=None)
+def test_rule_confidence_bounds(raws, delta):
+    members = list(enumerate(raws, 1))
+    patterns = mine_bruteforce(members, delta)
+    for rule in generate_rules(patterns, len(raws), min_confidence=0.01):
+        assert 0.0 < rule.confidence <= 1.0
+        assert rule.support >= delta
+        assert rule.lift > 0
+        # The rule's sides glue back to a frequent sequence.
+        assert rule.antecedent + rule.consequent in patterns

@@ -1,0 +1,141 @@
+"""Failure injection: malformed inputs must fail loudly and precisely.
+
+Every public entry point is probed with the kinds of broken input a
+downstream user actually produces: wrong types, empty containers,
+out-of-range parameters, corrupt files.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.sequence import Sequence, parse
+from repro.db import io as dbio
+from repro.db.database import SequenceDatabase
+from repro.exceptions import (
+    DataFormatError,
+    InvalidDatabaseError,
+    InvalidParameterError,
+    InvalidSequenceError,
+    ReproError,
+    UnknownAlgorithmError,
+)
+from repro.mining.api import mine
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidSequenceError,
+            InvalidDatabaseError,
+            InvalidParameterError,
+            UnknownAlgorithmError,
+            DataFormatError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        # Users catching ValueError keep working.
+        assert issubclass(InvalidSequenceError, ValueError)
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(UnknownAlgorithmError, KeyError)
+
+
+class TestSequenceInputs:
+    @pytest.mark.parametrize(
+        "text", ["(", ")", "((a))", "(a,,b)", "(a b)", "hello", "(a)~(b)"]
+    )
+    def test_malformed_text(self, text):
+        with pytest.raises(InvalidSequenceError):
+            parse(text)
+
+    def test_sequence_class_rejects_junk(self):
+        with pytest.raises(InvalidSequenceError):
+            Sequence([[1, "x"]])  # type: ignore[list-item]
+        with pytest.raises(InvalidSequenceError):
+            Sequence([[]])
+
+    def test_comparison_with_foreign_types(self):
+        s = Sequence.of("(a)")
+        assert (s == "not a sequence") is False
+        with pytest.raises(TypeError):
+            _ = s < "not a sequence"  # type: ignore[operator]
+
+
+class TestDatabaseInputs:
+    def test_empty_database_mines_to_nothing(self):
+        db = SequenceDatabase([])
+        assert len(mine(db, 1)) == 0
+
+    def test_boolean_min_support_rejected(self, table1_db):
+        with pytest.raises(InvalidParameterError):
+            mine(table1_db, True)
+
+    @pytest.mark.parametrize("support", [0, -2, -0.5, 1.0001])
+    def test_out_of_range_min_support(self, table1_db, support):
+        with pytest.raises(InvalidParameterError):
+            mine(table1_db, support)
+
+    def test_delta_above_size_yields_empty(self, table1_db):
+        assert len(mine(table1_db, 1000)) == 0
+
+
+class TestFileInputs:
+    def test_truncated_spmf(self):
+        with pytest.raises(DataFormatError):
+            dbio.read_spmf(io.StringIO("1 2 -1 3"))
+
+    def test_binary_garbage_tokens(self):
+        with pytest.raises(DataFormatError):
+            dbio.read_spmf(io.StringIO("\x00\x01 -2"))
+
+    def test_csv_with_missing_columns(self):
+        with pytest.raises(DataFormatError):
+            dbio.read_transaction_log(io.StringIO("h\nonlyone\n"))
+
+    def test_paper_format_with_bad_line(self):
+        with pytest.raises(InvalidSequenceError):
+            dbio.read_paper(io.StringIO("(a)(b)\n(((\n"))
+
+
+class TestAlgorithmOptions:
+    def test_unknown_backend(self, table1_db):
+        with pytest.raises(KeyError):
+            mine(table1_db, 2, algorithm="disc-all", backend="btree")
+
+    def test_unknown_option_raises_type_error(self, table1_db):
+        with pytest.raises(TypeError):
+            mine(table1_db, 2, algorithm="disc-all", bogus_option=1)
+
+    def test_gamma_out_of_range(self, table1_db):
+        with pytest.raises(ValueError):
+            mine(table1_db, 2, algorithm="dynamic-disc-all", gamma=2.0)
+
+
+class TestDegenerateShapes:
+    def test_all_identical_sequences(self):
+        db = SequenceDatabase.from_texts(["(a)(b)"] * 5)
+        result = mine(db, 5)
+        assert result.support("(a)(b)") == 5
+
+    def test_single_long_customer(self):
+        db = SequenceDatabase.from_texts(["(a)" * 30])
+        result = mine(db, 1)
+        # Longest pattern is the sequence itself.
+        assert result.max_length() == 30
+
+    def test_wide_single_transaction(self):
+        db = SequenceDatabase.from_raw([[list(range(1, 13))]] * 2)
+        result = mine(db, 2)
+        # All 2^12 - 1 itemset subsets are frequent.
+        assert len(result) == 4095
+
+    def test_disjoint_alphabets(self):
+        db = SequenceDatabase.from_texts(["(a)(b)", "(c)(d)"])
+        result = mine(db, 2)
+        assert len(result) == 0

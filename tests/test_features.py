@@ -1,0 +1,105 @@
+"""Tests for the feature-extraction pipeline (repro.ext.features)."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.core.sequence import contains, parse
+from repro.exceptions import InvalidParameterError
+from repro.ext.features import PatternFeaturizer, select_features
+from tests.conftest import random_database
+
+
+class TestSelectFeatures:
+    def test_length_bounds(self, table1_members):
+        raws = [raw for _, raw in table1_members]
+        patterns = mine_bruteforce(table1_members, 2)
+        features = select_features(patterns, raws, min_length=2, max_length=3)
+        from repro.core.sequence import seq_length
+
+        assert features
+        assert all(2 <= seq_length(f) <= 3 for f in features)
+
+    def test_max_features_cap(self, table1_members):
+        raws = [raw for _, raw in table1_members]
+        patterns = mine_bruteforce(table1_members, 2)
+        assert len(select_features(patterns, raws, max_features=5)) == 5
+
+    def test_redundancy_pruning(self):
+        # Two patterns with identical supporter sets: only one survives.
+        raws = [parse("(a)(b)"), parse("(a)(b)"), parse("(c)")]
+        patterns = mine_bruteforce(list(enumerate(raws, 1)), 2)
+        features = select_features(patterns, raws)
+        # <(a)>, <(b)>, <(a)(b)> all match exactly customers 1-2.
+        signatures = set()
+        for f in features:
+            signatures.add(
+                frozenset(i for i, raw in enumerate(raws) if contains(raw, f))
+            )
+        assert len(signatures) == len(features)
+
+    def test_no_pruning_keeps_duplicates(self):
+        raws = [parse("(a)(b)")] * 2
+        patterns = mine_bruteforce(list(enumerate(raws, 1)), 2)
+        pruned = select_features(patterns, raws)
+        unpruned = select_features(patterns, raws, prune_redundant=False)
+        assert len(unpruned) == len(patterns) > len(pruned)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            select_features({}, [], min_length=0)
+        with pytest.raises(InvalidParameterError):
+            select_features({}, [], min_length=3, max_length=2)
+
+
+class TestPatternFeaturizer:
+    def test_vectors_match_containment(self):
+        rng = random.Random(161)
+        for _ in range(10):
+            db = random_database(rng)
+            members = db.members()
+            raws = [raw for _, raw in members]
+            patterns = mine_bruteforce(members, max(1, len(raws) // 2))
+            if not patterns:
+                continue
+            featurizer = PatternFeaturizer(list(patterns))
+            matrix = featurizer.transform(raws)
+            assert matrix.shape == (len(raws), len(featurizer))
+            for i, raw in enumerate(raws):
+                for j, pattern in enumerate(featurizer.features):
+                    assert matrix[i, j] == int(contains(raw, pattern))
+
+    def test_dtype_and_empty(self):
+        featurizer = PatternFeaturizer([parse("(a)")])
+        assert featurizer.transform([]).shape == (0, 1)
+        vec = featurizer.transform_one(parse("(a)(b)"))
+        assert vec.dtype == np.int8
+        assert vec.tolist() == [1]
+
+    def test_feature_names(self):
+        featurizer = PatternFeaturizer([parse("(a)(b)")])
+        assert featurizer.feature_names() == ["<(a)(b)>"]
+
+    def test_requires_patterns(self):
+        with pytest.raises(InvalidParameterError):
+            PatternFeaturizer([])
+
+    def test_features_separate_classes(self):
+        """End-to-end sanity: features distinguish two behaviour groups."""
+        group_a = [parse("(a)(b)(c)")] * 5
+        group_b = [parse("(c)(b)(a)")] * 5
+        raws = group_a + group_b
+        patterns = mine_bruteforce(list(enumerate(raws, 1)), 5)
+        features = select_features(patterns, raws, min_length=2)
+        matrix = PatternFeaturizer(features).transform(raws)
+        # Some feature must split the groups perfectly.
+        labels = np.array([0] * 5 + [1] * 5)
+        split = any(
+            (matrix[:, j] == labels).all() or (matrix[:, j] == 1 - labels).all()
+            for j in range(matrix.shape[1])
+        )
+        assert split

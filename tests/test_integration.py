@@ -1,0 +1,102 @@
+"""End-to-end integration: generator -> miners -> verify -> post-process.
+
+One moderate Quest database flows through the whole public surface, the
+way a downstream user would drive it.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.nrr import compute_nrr_profile
+from repro.datagen import QuestParams, generate
+from repro.db import io as dbio
+from repro.ext.features import PatternFeaturizer, select_features
+from repro.ext.rules import generate_rules
+from repro.ext.topk import mine_topk
+from repro.mining.api import mine
+from repro.mining.serialize import load_result, save_result
+from repro.mining.verify import verify_patterns
+
+
+@pytest.fixture(scope="module")
+def quest_db():
+    return generate(
+        QuestParams(ncust=120, slen=5, tlen=2.5, nitems=80, patlen=4,
+                    npats=40, seed=17)
+    )
+
+
+@pytest.fixture(scope="module")
+def mined(quest_db):
+    return mine(quest_db, 0.05, algorithm="disc-all")
+
+
+class TestFullPipeline:
+    def test_all_algorithms_agree(self, quest_db, mined):
+        for algo in ("dynamic-disc-all", "multilevel-disc-all",
+                     "prefixspan", "pseudo", "spade", "spam"):
+            assert mine(quest_db, 0.05, algorithm=algo).same_patterns(mined)
+
+    def test_verification_passes(self, quest_db, mined):
+        report = verify_patterns(
+            mined.patterns, list(quest_db.sequences), mined.delta, sample=60
+        )
+        assert report.ok, report.errors
+
+    def test_io_roundtrip_preserves_mining(self, quest_db):
+        buffer = io.StringIO()
+        dbio.write_spmf(quest_db, buffer)
+        buffer.seek(0)
+        again = dbio.read_spmf(buffer)
+        assert mine(again, 0.05).same_patterns(mine(quest_db, 0.05))
+
+    def test_result_serialisation(self, mined, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(mined, path)
+        assert load_result(path).same_patterns(mined)
+
+    def test_topk_is_prefix_of_full_ranking(self, quest_db, mined):
+        from repro.core.sequence import flatten
+
+        top = mine_topk(quest_db.members(), 15)
+        ranked = sorted(
+            mined.patterns.items(), key=lambda pc: (-pc[1], flatten(pc[0]))
+        )
+        # Every top-k entry above the mining threshold must appear in the
+        # same position of the full ranking.
+        for (got_p, got_c), (want_p, want_c) in zip(top, ranked):
+            if got_c < mined.delta:
+                break
+            assert (got_p, got_c) == (want_p, want_c)
+
+    def test_rules_from_result(self, quest_db, mined):
+        rules = generate_rules(mined.patterns, len(quest_db), 0.6)
+        for rule in rules[:20]:
+            whole = rule.antecedent + rule.consequent
+            assert rule.support == mined.patterns[whole]
+
+    def test_features_matrix_shape(self, quest_db, mined):
+        raws = list(quest_db.sequences)
+        features = select_features(
+            mined.patterns, raws, min_length=2, max_features=20
+        )
+        matrix = PatternFeaturizer(features).transform(raws)
+        assert matrix.shape == (len(raws), len(features))
+        # Feature frequency must match the mined supports.
+        for j, pattern in enumerate(features):
+            assert int(matrix[:, j].sum()) == mined.patterns[pattern]
+
+    def test_nrr_profile_shape(self, quest_db, mined):
+        profile = compute_nrr_profile(mined.patterns, len(quest_db)).averages()
+        assert 0 in profile
+        assert profile[0] < 0.5
+        if 2 in profile and 1 in profile:
+            assert profile[2] >= profile[1] * 0.5  # deeper ~ larger, loosely
+
+    def test_closed_and_maximal_consistency(self, mined):
+        closed = mined.closed_patterns()
+        maximal = mined.maximal_patterns()
+        assert set(maximal) <= set(closed) <= set(mined.patterns)

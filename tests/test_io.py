@@ -1,0 +1,145 @@
+"""Tests for database text IO (repro.db.io)."""
+
+from __future__ import annotations
+
+import io
+import random
+
+import pytest
+
+from repro.db import io as dbio
+from repro.db.database import SequenceDatabase
+from repro.exceptions import DataFormatError
+from tests.conftest import random_database
+
+
+class TestSpmf:
+    def test_roundtrip_table1(self, table1_db):
+        assert dbio.roundtrip_equal(table1_db, "spmf")
+
+    def test_roundtrip_random(self):
+        rng = random.Random(91)
+        for _ in range(20):
+            assert dbio.roundtrip_equal(random_database(rng), "spmf")
+
+    def test_exact_format(self):
+        db = SequenceDatabase.from_texts(["(a, b)(c)"])
+        buffer = io.StringIO()
+        dbio.write_spmf(db, buffer)
+        assert buffer.getvalue() == "1 2 -1 3 -1 -2\n"
+
+    def test_reads_comments_and_blanks(self):
+        text = "# header\n\n1 -1 -2\n"
+        assert len(dbio.read_spmf(io.StringIO(text))) == 1
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "1 -1",  # missing -2
+            "1 -2",  # itemset not closed
+            "-1 -2",  # empty itemset
+            "-2",  # empty sequence
+            "x -1 -2",  # bad token
+            "0 -1 -2",  # non-positive item
+        ],
+    )
+    def test_malformed_lines(self, line):
+        with pytest.raises(DataFormatError):
+            dbio.read_spmf(io.StringIO(line + "\n"))
+
+    def test_file_roundtrip(self, tmp_path, table1_db):
+        path = tmp_path / "db.spmf"
+        dbio.write_spmf(table1_db, path)
+        assert dbio.read_spmf(path) == table1_db
+
+
+class TestPaperFormat:
+    def test_roundtrip(self, table1_db):
+        assert dbio.roundtrip_equal(table1_db, "paper")
+
+    def test_file_roundtrip(self, tmp_path, table1_db):
+        path = tmp_path / "db.txt"
+        dbio.write_paper(table1_db, path)
+        assert dbio.read_paper(path) == table1_db
+
+    def test_unknown_roundtrip_format(self, table1_db):
+        with pytest.raises(DataFormatError):
+            dbio.roundtrip_equal(table1_db, "json")
+
+
+class TestTransactionLog:
+    CSV = (
+        "customer,ts,item\n"
+        "alice,2024-01-01,milk\n"
+        "alice,2024-01-01,bread\n"
+        "alice,2024-01-05,eggs\n"
+        "bob,2024-02-01,milk\n"
+    )
+
+    def test_groups_and_orders(self):
+        db = dbio.read_transaction_log(io.StringIO(self.CSV))
+        assert len(db) == 2
+        vocab = db.vocabulary
+        assert vocab is not None
+        alice = vocab.decode(db[1])
+        assert [sorted(t) for t in alice] == [["bread", "milk"], ["eggs"]]
+        bob = vocab.decode(db[2])
+        assert bob == [["milk"]]
+
+    def test_duplicate_rows_merge(self):
+        csv_text = "c,t,i\n1,a,x\n1,a,x\n"
+        db = dbio.read_transaction_log(io.StringIO(csv_text))
+        assert db[1] == ((1,),)
+
+    def test_short_row_raises(self):
+        with pytest.raises(DataFormatError):
+            dbio.read_transaction_log(io.StringIO("c,t,i\n1,a\n"))
+
+    def test_no_header(self):
+        db = dbio.read_transaction_log(
+            io.StringIO("1,a,x\n1,b,y\n"), has_header=False
+        )
+        assert len(db) == 1
+        assert len(db[1]) == 2
+
+    def test_file_input(self, tmp_path):
+        path = tmp_path / "log.csv"
+        path.write_text(self.CSV)
+        db = dbio.read_transaction_log(path)
+        assert len(db) == 2
+
+
+class TestTimedTransactionLog:
+    CSV = (
+        "customer,ts,item\n"
+        "alice,1.5,milk\n"
+        "alice,1.5,bread\n"
+        "alice,9,eggs\n"
+        "bob,2,milk\n"
+    )
+
+    def test_times_preserved(self):
+        timed, vocab = dbio.read_timed_transaction_log(io.StringIO(self.CSV))
+        assert len(timed) == 2
+        alice = timed[0]
+        assert alice.times == (1.5, 9.0)
+        decoded = [
+            sorted(vocab.item_of(i) for i in txn) for txn in alice.raw
+        ]
+        assert decoded == [["bread", "milk"], ["eggs"]]
+
+    def test_usable_by_mine_timed(self):
+        from repro.ext.time_constraints import TimeConstraints, mine_timed
+
+        timed, vocab = dbio.read_timed_transaction_log(io.StringIO(self.CSV))
+        patterns = mine_timed(timed, 2)
+        assert ((vocab.id_of("milk"),),) in patterns
+
+    def test_non_numeric_time_rejected(self):
+        bad = "c,t,i\n1,notatime,x\n"
+        with pytest.raises(DataFormatError):
+            dbio.read_timed_transaction_log(io.StringIO(bad))
+
+    def test_short_row_rejected(self):
+        with pytest.raises(DataFormatError):
+            dbio.read_timed_transaction_log(io.StringIO("c,t,i\n1,2\n"))

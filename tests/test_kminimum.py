@@ -1,0 +1,315 @@
+"""Unit tests for the k-minimum machinery (repro.core.kminimum)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.kminimum import (
+    CkmsQuery,
+    FrequentNode,
+    SortedFrequentList,
+    apriori_ckms,
+    apriori_ckms_entry,
+    apriori_kms,
+    apriori_kms_entry,
+    build_extension,
+    extension_pairs,
+    min_extension,
+    min_extension_pair,
+    minimum_k_subsequence,
+    minimum_k_subsequence_brute,
+    next_key_after,
+    verify_sorted,
+)
+from repro.core.sequence import (
+    all_k_subsequences,
+    contains,
+    flatten,
+    k_prefix,
+    parse,
+    seq_length,
+)
+from tests.conftest import random_sequence
+
+
+def brute_extensions(seq, prefix):
+    """Ground truth for extension_pairs via full enumeration."""
+    k = seq_length(prefix) + 1
+    pairs = set()
+    for sub in all_k_subsequences(seq, k):
+        if k_prefix(sub, k - 1) == prefix:
+            pairs.add(flatten(sub)[-1])
+    return pairs
+
+
+class TestExtensionPairs:
+    def test_against_bruteforce_random(self):
+        rng = random.Random(21)
+        for _ in range(150):
+            seq = random_sequence(rng, max_transactions=4, max_itemset=3)
+            k = rng.randint(1, min(3, seq_length(seq)))
+            for prefix in all_k_subsequences(seq, k):
+                assert extension_pairs(seq, prefix) == brute_extensions(seq, prefix)
+
+    def test_empty_prefix_yields_items(self):
+        assert extension_pairs(parse("(a, b)(c)"), ()) == {(1, 1), (2, 1), (3, 1)}
+
+    def test_uncontained_prefix(self):
+        assert extension_pairs(parse("(a)(b)"), parse("(c)")) == set()
+
+    def test_itemset_vs_sequence_forms(self):
+        pairs = extension_pairs(parse("(a, b)(b)"), parse("(a)"))
+        assert pairs == {(2, 1), (2, 2)}  # <(a, b)> and <(a)(b)>
+
+
+class TestBuildExtension:
+    def test_forms(self):
+        assert build_extension(parse("(a)"), (2, 1)) == parse("(a, b)")
+        assert build_extension(parse("(a)"), (2, 2)) == parse("(a)(b)")
+
+    def test_bad_transaction_number(self):
+        with pytest.raises(ValueError):
+            build_extension(parse("(a)"), (2, 5))
+
+
+class TestMinExtension:
+    def test_unbounded_equals_brute_minimum(self):
+        rng = random.Random(22)
+        for _ in range(150):
+            seq = random_sequence(rng, max_transactions=4, max_itemset=3)
+            k = rng.randint(1, min(3, seq_length(seq)))
+            for prefix in all_k_subsequences(seq, k):
+                got = min_extension(seq, prefix)
+                pairs = brute_extensions(seq, prefix)
+                if not pairs:
+                    assert got is None
+                else:
+                    assert got == build_extension(prefix, min(pairs))
+
+    def test_bounded_equals_filtered_brute(self):
+        rng = random.Random(23)
+        checked = 0
+        while checked < 200:
+            seq = random_sequence(rng, max_transactions=4, max_itemset=3)
+            k = rng.randint(1, min(3, seq_length(seq)))
+            prefixes = list(all_k_subsequences(seq, k))
+            if not prefixes:
+                continue
+            prefix = rng.choice(prefixes)
+            pairs = brute_extensions(seq, prefix)
+            if not pairs:
+                continue
+            bound = rng.choice(sorted(pairs))
+            for strict in (False, True):
+                allowed = {p for p in pairs if (p > bound if strict else p >= bound)}
+                got = min_extension(seq, prefix, bound=bound, strict=strict)
+                if not allowed:
+                    assert got is None
+                else:
+                    assert got == build_extension(prefix, min(allowed))
+            checked += 1
+
+    def test_ckms_counterexample_to_leftmost_matching(self):
+        """The DESIGN.md deviation: S = <(a)(a, b)>, F = <(a)>, bound
+        >= <(a, b)>.  Extending only the leftmost match of F yields
+        <(a)(b)>; the true conditional minimum is <(a, b)>, hosted by
+        the second transaction."""
+        seq = parse("(a)(a, b)")
+        got = min_extension(seq, parse("(a)"), bound=(2, 1), strict=False)
+        assert got == parse("(a, b)")
+
+    def test_empty_prefix(self):
+        assert min_extension(parse("(b)(a)"), ()) == parse("(a)")
+        assert min_extension(parse("(b)(a)"), (), bound=(1, 1), strict=True) == parse("(b)")
+        assert min_extension(parse("(a)"), (), bound=(1, 1), strict=True) is None
+
+
+class TestMinimumKSubsequence:
+    def test_matches_brute_on_random(self):
+        rng = random.Random(24)
+        for _ in range(100):
+            seq = random_sequence(rng, max_transactions=4, max_itemset=3)
+            for k in range(1, min(4, seq_length(seq)) + 1):
+                assert minimum_k_subsequence(seq, k) == minimum_k_subsequence_brute(seq, k)
+
+    def test_too_long_returns_none(self):
+        assert minimum_k_subsequence(parse("(a)"), 2) is None
+
+    def test_nonpositive_k(self):
+        assert minimum_k_subsequence(parse("(a)"), 0) is None
+
+    def test_first_item_not_always_minimum_item(self):
+        # <(c)(a)>: minimum item a starts no 2-subsequence.
+        assert minimum_k_subsequence(parse("(c)(a)"), 2) == parse("(c)(a)")
+
+
+class TestSortedFrequentList:
+    def test_orders_ascending(self):
+        flist = SortedFrequentList([parse("(b)"), parse("(a)(z)"), parse("(a, b)")])
+        assert verify_sorted([flist[i] for i in range(len(flist))])
+
+    def test_bisect(self):
+        flist = SortedFrequentList([parse("(a)"), parse("(b)"), parse("(d)")])
+        assert flist.index_at_or_after(parse("(b)")) == 1
+        assert flist.index_at_or_after(parse("(c)")) == 2
+        assert flist.index_at_or_after(parse("(e)")) == 3
+
+    def test_node_precomputation(self):
+        node = FrequentNode(parse("(a, b)(c)"))
+        assert node.head == parse("(a, b)")
+        assert node.last == (3,)
+        assert node.last_item == 3
+        assert node.size == 2
+
+
+class TestAprioriKMS:
+    def _restricted_brute(self, seq, flist, k):
+        """Ground truth: min k-subsequence with (k-1)-prefix in flist."""
+        prefixes = {flatten(flist[i]) for i in range(len(flist))}
+        candidates = [
+            sub
+            for sub in all_k_subsequences(seq, k)
+            if flatten(k_prefix(sub, k - 1)) in prefixes
+        ]
+        return min(candidates, key=flatten) if candidates else None
+
+    def test_matches_restricted_brute(self):
+        rng = random.Random(25)
+        for _ in range(100):
+            seq = random_sequence(rng, max_transactions=4, max_itemset=3)
+            k = rng.randint(2, 4)
+            if seq_length(seq) < k:
+                continue
+            universe = sorted(all_k_subsequences(seq, k - 1), key=flatten)
+            if not universe:
+                continue
+            chosen = rng.sample(universe, rng.randint(1, len(universe)))
+            flist = SortedFrequentList(chosen)
+            expected = self._restricted_brute(seq, flist, k)
+            found = apriori_kms(seq, flist)
+            if expected is None:
+                assert found is None
+            else:
+                kmin, pointer = found
+                assert kmin == expected
+                assert flist[pointer] == k_prefix(expected, k - 1)
+
+    def test_entry_variant_key(self):
+        flist = SortedFrequentList([parse("(a)(b)")])
+        seq = parse("(a)(b)(c)")
+        key, pointer = apriori_kms_entry(seq, flist)
+        assert key == flatten(parse("(a)(b)(c)"))
+        assert pointer == 0
+
+    def test_cache_is_filled_and_reused(self):
+        flist = SortedFrequentList([parse("(x)"), parse("(a)")])
+        cache: dict = {}
+        seq = parse("(a)(b)")
+        apriori_kms_entry(seq, flist, cache=cache)
+        assert 0 in cache and cache[0] is not None  # (a) extends
+        # Poison the cache to prove reuse.
+        cache[0] = None
+        assert apriori_kms_entry(seq, flist, cache=cache) is None
+
+
+class TestAprioriCKMS:
+    def test_matches_constrained_brute(self):
+        rng = random.Random(26)
+        trials = 0
+        while trials < 120:
+            seq = random_sequence(rng, max_transactions=4, max_itemset=3)
+            k = rng.randint(2, 4)
+            if seq_length(seq) < k:
+                continue
+            universe = sorted(all_k_subsequences(seq, k - 1), key=flatten)
+            if not universe:
+                continue
+            flist = SortedFrequentList(
+                rng.sample(universe, rng.randint(1, len(universe)))
+            )
+            all_k = sorted(all_k_subsequences(seq, k), key=flatten)
+            if not all_k:
+                continue
+            alpha_delta = rng.choice(all_k)
+            strict = rng.random() < 0.5
+            prefixes = {flatten(flist[i]) for i in range(len(flist))}
+            candidates = [
+                sub
+                for sub in all_k
+                if flatten(k_prefix(sub, k - 1)) in prefixes
+                and (
+                    flatten(sub) > flatten(alpha_delta)
+                    if strict
+                    else flatten(sub) >= flatten(alpha_delta)
+                )
+            ]
+            expected = min(candidates, key=flatten) if candidates else None
+            found = apriori_ckms(seq, flist, 0, alpha_delta, strict)
+            if expected is None:
+                assert found is None, (seq, alpha_delta, strict)
+            else:
+                assert found is not None and found[0] == expected, (
+                    seq,
+                    alpha_delta,
+                    strict,
+                )
+            trials += 1
+
+    def test_pointer_skips_smaller_prefixes(self):
+        flist = SortedFrequentList([parse("(a)"), parse("(b)"), parse("(c)")])
+        query = CkmsQuery(flist, parse("(b)(a)"), strict=False)
+        assert query.start == 1  # first node >= <(b)>
+        seq = parse("(a)(b)(c)")
+        key, pointer = apriori_ckms_entry(seq, flist, 0, query)
+        # <(b)(c)> is the smallest qualifying extension.
+        assert key == flatten(parse("(b)(c)"))
+        assert pointer == 1
+
+    def test_strictness(self):
+        flist = SortedFrequentList([parse("(a)")])
+        seq = parse("(a)(b)")
+        # alpha_delta = <(a)(b)> itself: non-strict returns it, strict fails.
+        assert apriori_ckms(seq, flist, 0, parse("(a)(b)"), strict=False)[0] == parse("(a)(b)")
+        assert apriori_ckms(seq, flist, 0, parse("(a)(b)"), strict=True) is None
+
+
+class TestNextKeyAfter:
+    def test_first_key(self):
+        assert next_key_after(parse("(a, b)(c)"), 1, None) == parse("(a, b)")
+
+    def test_successive_keys_enumerate_all_2_subsequences(self):
+        rng = random.Random(27)
+        for _ in range(80):
+            seq = random_sequence(rng, max_transactions=4, max_itemset=3)
+            first = min(item for txn in seq for item in txn)
+            expected = sorted(
+                (
+                    sub
+                    for sub in all_k_subsequences(seq, 2)
+                    if sub[0][0] == first and flatten(sub)[0] == (first, 1)
+                ),
+                key=flatten,
+            )
+            chain = []
+            key = next_key_after(seq, first, None)
+            while key is not None:
+                chain.append(key)
+                key = next_key_after(seq, first, key)
+            assert chain == expected
+
+    def test_exhaustion(self):
+        assert next_key_after(parse("(a)"), 1, None) is None
+
+
+class TestMinExtensionPairDirect:
+    def test_multi_item_last_itemset(self):
+        node = FrequentNode(parse("(a, b)"))
+        # hosts must contain both a and b.
+        assert min_extension_pair(parse("(a)(b)"), node) is None
+        assert min_extension_pair(parse("(a, b, d)"), node) == (4, 1)
+
+    def test_bound_excludes_all(self):
+        node = FrequentNode(parse("(a)"))
+        assert min_extension_pair(parse("(a)(b)"), node, bound=(3, 2), strict=False) is None

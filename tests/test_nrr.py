@@ -1,0 +1,86 @@
+"""Tests for NRR instrumentation (repro.core.nrr)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.nrr import NRRCollector, compute_nrr_profile
+from repro.core.sequence import parse
+
+
+class TestCollector:
+    def test_record_formula(self):
+        collector = NRRCollector()
+        # eq. (2): mean of child/parent ratios.
+        value = collector.record(1, 10, [5, 3, 2])
+        assert value == pytest.approx((0.5 + 0.3 + 0.2) / 3)
+
+    def test_no_children_not_sampled(self):
+        collector = NRRCollector()
+        assert collector.record(1, 10, []) is None
+        assert collector.average(1) is None
+
+    def test_zero_parent_not_sampled(self):
+        collector = NRRCollector()
+        assert collector.record(1, 0, [1]) is None
+
+    def test_average_over_partitions(self):
+        collector = NRRCollector()
+        collector.record(2, 10, [10])  # NRR 1.0
+        collector.record(2, 10, [5])  # NRR 0.5
+        assert collector.average(2) == pytest.approx(0.75)
+
+    def test_averages_and_max_level(self):
+        collector = NRRCollector()
+        collector.record(0, 100, [1])
+        collector.record(3, 10, [10])
+        assert set(collector.averages()) == {0, 3}
+        assert collector.max_level == 3
+        assert NRRCollector().max_level == -1
+
+
+class TestProfile:
+    def test_hand_computed_example(self):
+        # DB of size 10; frequent: <(a)>:6, <(b)>:4, <(a)(b)>:3, <(a, b)>:2,
+        # <(a)(b)(b)>:2.
+        patterns = {
+            parse("(a)"): 6,
+            parse("(b)"): 4,
+            parse("(a)(b)"): 3,
+            parse("(a, b)"): 2,
+            parse("(a)(b)(b)"): 2,
+        }
+        profile = compute_nrr_profile(patterns, 10).averages()
+        # Level 0: children 6 and 4 over size 10 -> (0.6 + 0.4)/2 = 0.5
+        assert profile[0] == pytest.approx(0.5)
+        # Level 1: <(a)>'s children are <(a)(b)> (3) and <(a, b)> (2):
+        # (0.5 + 1/3)/2; <(b)> has no children -> only one sample.
+        assert profile[1] == pytest.approx((3 / 6 + 2 / 6) / 2)
+        # Level 2: <(a)(b)> -> <(a)(b)(b)>: 2/3.
+        assert profile[2] == pytest.approx(2 / 3)
+
+    def test_prefix_relation_is_flat_prefix(self):
+        # <(a, b)> is the parent of <(a, b)(c)> but NOT of <(a)(b)(c)>.
+        patterns = {
+            parse("(a)"): 5,
+            parse("(a, b)"): 4,
+            parse("(a, b)(c)"): 2,
+        }
+        profile = compute_nrr_profile(patterns, 10).averages()
+        assert profile[2] == pytest.approx(0.5)
+
+    def test_empty_patterns(self):
+        profile = compute_nrr_profile({}, 10)
+        assert profile.averages() == {}
+
+    def test_deeper_levels_tend_to_one_on_rigid_data(self):
+        """On data where every supporter of a pattern also supports its
+        extension, deep NRR is exactly 1 (the paper's extreme case where
+        partitioning is pure overhead)."""
+        from repro.core.discall import disc_all
+
+        members = [(i, parse("(a)(b)(c)(d)")) for i in range(1, 5)]
+        patterns = disc_all(members, 2).patterns
+        profile = compute_nrr_profile(patterns, 4).averages()
+        for level in range(1, 4):
+            assert profile[level] == pytest.approx(1.0)

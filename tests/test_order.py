@@ -1,0 +1,102 @@
+"""Unit tests for the comparative order (repro.core.order).
+
+The key obligation: ``sort_key`` (lexicographic flattened pairs) realises
+exactly the literal transcription of Definitions 2.1/2.2, and the order
+is total.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.order import compare, differential_point, seq_max, seq_min, sort_key
+from repro.core.sequence import parse
+from tests.conftest import random_sequence
+
+
+class TestDifferentialPoint:
+    def test_equal_sequences_have_none(self):
+        assert differential_point(parse("(a)(b)"), parse("(a)(b)")) is None
+
+    def test_item_difference(self):
+        # <(a)(b)(h)> vs <(a)(c)(f)>: position 2 (items b vs c).
+        assert differential_point(parse("(a)(b)(h)"), parse("(a)(c)(f)")) == 2
+
+    def test_transaction_number_difference(self):
+        # <(a, b)(c)> vs <(a)(b, c)>: position 2 (numbers 1 vs 2).
+        assert differential_point(parse("(a, b)(c)"), parse("(a)(b, c)")) == 2
+
+    def test_prefix_padding(self):
+        # Shorter flat-prefix: differential point just past it.
+        assert differential_point(parse("(a)"), parse("(a)(b)")) == 2
+        assert differential_point(parse("(a, b)"), parse("(a)")) == 2
+
+    def test_symmetric(self):
+        a, b = parse("(a)(b)"), parse("(a, b)")
+        assert differential_point(a, b) == differential_point(b, a)
+
+
+class TestCompare:
+    def test_item_beats_transaction_number(self):
+        # Definition 2.2(a): items decide first even when the numbers
+        # lean the other way.
+        a = parse("(a)(b)")  # (b, 2)
+        b = parse("(a, c)")  # (c, 1)
+        assert compare(a, b) == -1
+
+    def test_equal(self):
+        assert compare(parse("(a, b)(c)"), parse("(a, b)(c)")) == 0
+
+    def test_prefix_is_smaller(self):
+        assert compare(parse("(a)"), parse("(a)(a)")) == -1
+        assert compare(parse("(a)(a)"), parse("(a)")) == 1
+
+    def test_antisymmetry_random(self):
+        rng = random.Random(11)
+        for _ in range(200):
+            a, b = random_sequence(rng), random_sequence(rng)
+            assert compare(a, b) == -compare(b, a)
+
+    def test_transitivity_random(self):
+        rng = random.Random(12)
+        for _ in range(200):
+            seqs = sorted(
+                (random_sequence(rng) for _ in range(3)), key=sort_key
+            )
+            assert compare(seqs[0], seqs[1]) <= 0
+            assert compare(seqs[1], seqs[2]) <= 0
+            assert compare(seqs[0], seqs[2]) <= 0
+
+
+class TestSortKeyEquivalence:
+    def test_sort_key_matches_compare(self):
+        """The central equivalence: lexicographic flat pairs == Def 2.2."""
+        rng = random.Random(13)
+        for _ in range(500):
+            a, b = random_sequence(rng), random_sequence(rng)
+            by_compare = compare(a, b)
+            by_key = (sort_key(a) > sort_key(b)) - (sort_key(a) < sort_key(b))
+            assert by_compare == by_key, (a, b)
+
+    def test_differential_point_consistency(self):
+        """compare() != 0 iff a differential point exists."""
+        rng = random.Random(14)
+        for _ in range(300):
+            a, b = random_sequence(rng), random_sequence(rng)
+            point = differential_point(a, b)
+            assert (point is None) == (compare(a, b) == 0)
+
+
+class TestMinMax:
+    def test_seq_min_max(self):
+        seqs = [parse("(b)"), parse("(a)(z)"), parse("(a, b)")]
+        assert seq_min(*seqs) == parse("(a, b)")  # (b, 1) < (z, 2) at pos 2
+        assert seq_max(*seqs) == parse("(b)")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            seq_min()
+        with pytest.raises(ValueError):
+            seq_max()

@@ -1,0 +1,48 @@
+"""Tests for process-parallel DISC-all (repro.core.parallel)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.core.discall import disc_all
+from repro.core.parallel import disc_all_parallel
+from tests.conftest import random_database
+
+
+class TestParity:
+    def test_sequential_mode_matches_disc_all(self):
+        rng = random.Random(191)
+        for _ in range(25):
+            db = random_database(rng)
+            members = db.members()
+            delta = rng.randint(1, max(1, len(members)))
+            assert (
+                disc_all_parallel(members, delta, processes=1).patterns
+                == disc_all(members, delta).patterns
+            )
+
+    def test_pool_mode_matches_oracle(self, table6_members):
+        # One real pool run (kept small: process spawn is expensive).
+        out = disc_all_parallel(table6_members, 3, processes=2)
+        assert out.patterns == mine_bruteforce(table6_members, 3)
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            disc_all_parallel([], 0)
+
+    def test_empty_database(self):
+        assert disc_all_parallel([], 2, processes=1).patterns == {}
+
+    def test_partition_membership_is_direct(self, table6_members):
+        out = disc_all_parallel(table6_members, 3, processes=1)
+        # One job per frequent item (Example 3.1: all but d).
+        assert out.stats.first_level_partitions == 7
+
+    def test_registry_entry(self, table1_db):
+        from repro.mining.api import mine
+
+        result = mine(table1_db, 2, algorithm="disc-all-parallel", processes=1)
+        assert result.same_patterns(mine(table1_db, 2))

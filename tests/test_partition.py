@@ -1,0 +1,249 @@
+"""Unit tests for multi-level partitioning (repro.core.partition)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.counting import CountingArray, count_frequent_items
+from repro.core.partition import (
+    PartitionQueue,
+    first_level_partitions,
+    iterate_first_level,
+    iterate_second_level,
+    minimum_item,
+    minimum_point,
+    next_minimum_item,
+    reduce_sequence,
+)
+from repro.core.sequence import contains, parse, seq_length
+from repro.baselines.bruteforce import mine_bruteforce
+from tests.conftest import random_database
+
+
+class TestMinimumHelpers:
+    def test_minimum_item(self):
+        assert minimum_item(parse("(c)(b, d)")) == 2
+
+    def test_next_minimum_item(self):
+        raw = parse("(c)(b, d)")
+        assert next_minimum_item(raw, 2) == 3
+        assert next_minimum_item(raw, 3) == 4
+        assert next_minimum_item(raw, 4) is None
+
+    def test_minimum_point(self):
+        raw = parse("(c)(b, d)(b)")
+        assert minimum_point(raw, 2) == 1
+        assert minimum_point(raw, 3) == 0
+        with pytest.raises(ValueError):
+            minimum_point(raw, 9)
+
+
+class TestPartitionQueue:
+    def test_ascending_iteration_with_reassignment(self):
+        queue = PartitionQueue()
+        queue.add(1, (1, "x"))
+        queue.add(3, (2, "y"))
+        seen = []
+        for key, members in queue:
+            seen.append((key, list(members)))
+            if key == 1:
+                queue.add(2, (1, "x"))  # reassign forward
+        assert [key for key, _ in seen] == [1, 2, 3]
+
+    def test_rejects_backward_reassignment(self):
+        queue = PartitionQueue()
+        queue.add(2, (1, "x"))
+        for key, _ in queue:
+            with pytest.raises(ValueError):
+                queue.add(key, (9, "z"))
+            with pytest.raises(ValueError):
+                queue.add(key - 1, (9, "z"))
+
+    def test_keys_merge(self):
+        queue = PartitionQueue()
+        queue.add(1, "a")
+        queue.add(1, "b")
+        assert next(iter(queue)) == (1, ["a", "b"])
+
+
+class TestFirstLevel:
+    def test_every_sequence_lands_on_its_minimum(self):
+        rng = random.Random(61)
+        for _ in range(30):
+            db = random_database(rng)
+            parts = first_level_partitions(db.members())
+            for key, group in parts.items():
+                for _, raw in group:
+                    assert minimum_item(raw) == key
+
+    def test_iterate_visits_each_key_with_all_containing_sequences(self):
+        """The reassignment invariant: when partition lam is processed it
+        holds exactly the sequences containing lam."""
+        rng = random.Random(62)
+        for _ in range(30):
+            db = random_database(rng)
+            members = db.members()
+            for lam, group in iterate_first_level(members):
+                containing = {
+                    cid
+                    for cid, raw in members
+                    if any(lam in txn for txn in raw)
+                }
+                assert {cid for cid, _ in group} == containing
+
+    def test_empty_database(self):
+        assert list(iterate_first_level([])) == []
+
+
+class TestSecondLevel:
+    def test_iterate_visits_every_anchored_2_subsequence(self):
+        """When partition K is processed it holds exactly the reduced
+        sequences containing K."""
+        rng = random.Random(63)
+        for _ in range(25):
+            db = random_database(rng)
+            members = db.members()
+            # Use unreduced members anchored at the global min item.
+            lam = min(minimum_item(raw) for _, raw in db.members())
+            group = [
+                (cid, raw)
+                for cid, raw in members
+                if any(lam in txn for txn in raw) and seq_length(raw) >= 3
+            ]
+            for key, sp in iterate_second_level(group, lam):
+                containing = {cid for cid, raw in group if contains(raw, key)}
+                assert {cid for cid, _ in sp} == containing
+                assert key[0][0] == lam
+
+
+class TestReduction:
+    def _reduce_all(self, members, lam, delta):
+        frequent_items = frozenset(count_frequent_items(members, delta))
+        array = CountingArray(((lam,),))
+        array.observe_all(members)
+        pairs = {p for p, c in array.counts().items() if c >= delta}
+        return [
+            (cid, reduced)
+            for cid, raw in members
+            if (reduced := reduce_sequence(raw, lam, frequent_items, pairs))
+            is not None
+        ], frequent_items
+
+    def test_reduction_preserves_frequent_patterns(self):
+        """No frequent pattern starting with lam loses support."""
+        rng = random.Random(64)
+        for _ in range(25):
+            db = random_database(rng, max_customers=10)
+            members = db.members()
+            delta = rng.randint(1, max(1, len(members) // 2))
+            patterns = mine_bruteforce(members, delta)
+            lam = min(minimum_item(raw) for _, raw in members)
+            group = [
+                (cid, raw)
+                for cid, raw in members
+                if any(lam in txn for txn in raw)
+            ]
+            reduced, _ = self._reduce_all(group, lam, delta)
+            reduced_by_cid = dict(reduced)
+            for pattern, _count in patterns.items():
+                if pattern[0][0] != lam or seq_length(pattern) < 3:
+                    continue
+                for cid, raw in group:
+                    if contains(raw, pattern):
+                        assert cid in reduced_by_cid
+                        assert contains(reduced_by_cid[cid], pattern), (
+                            pattern,
+                            raw,
+                            reduced_by_cid[cid],
+                        )
+
+    def test_reduction_never_removes_lambda(self):
+        rng = random.Random(65)
+        for _ in range(25):
+            db = random_database(rng)
+            members = db.members()
+            lam = min(minimum_item(raw) for _, raw in members)
+            group = [
+                (cid, raw) for cid, raw in members if any(lam in txn for txn in raw)
+            ]
+            reduced, _ = self._reduce_all(group, lam, 1)
+            originals = dict(group)
+            for cid, short in reduced:
+                lam_count = sum(txn.count(lam) for txn in originals[cid])
+                kept = sum(txn.count(lam) for txn in short)
+                assert kept == lam_count
+
+    def test_short_results_dropped(self):
+        # Reduced sequences shorter than 3 return None.
+        assert reduce_sequence(parse("(a, g)"), 1, frozenset([1, 7]), {(7, 1)}) is None
+
+    def test_infrequent_items_removed_everywhere(self):
+        reduced = reduce_sequence(
+            parse("(z)(a)(z)(b)(c)"),
+            1,
+            frozenset([1, 2, 3]),
+            {(2, 2), (3, 2)},
+        )
+        assert reduced == parse("(a)(b)(c)")
+
+
+class TestIterateExtensionPartitions:
+    def test_filtered_exactness(self):
+        """With a frequent-pair filter, each yielded partition still holds
+        exactly the members containing its key."""
+        import random as _random
+
+        from repro.core.kminimum import extension_pairs
+        from repro.core.partition import iterate_extension_partitions
+
+        rng = _random.Random(66)
+        for _ in range(25):
+            db = random_database(rng)
+            members = db.members()
+            prefix = ((min(minimum_item(raw) for _, raw in members),),)
+            group = [
+                (cid, raw) for cid, raw in members
+                if contains(raw, prefix)
+            ]
+            all_pairs = set()
+            for _, raw in group:
+                all_pairs |= extension_pairs(raw, prefix)
+            if not all_pairs:
+                continue
+            allowed = set(rng.sample(sorted(all_pairs),
+                                     rng.randint(1, len(all_pairs))))
+            seen_keys = []
+            for key, sp in iterate_extension_partitions(group, prefix, allowed):
+                seen_keys.append(key)
+                containing = {cid for cid, raw in group if contains(raw, key)}
+                assert {cid for cid, _ in sp} == containing
+            # Every allowed pair realised by some member is visited.
+            from repro.core.kminimum import build_extension
+
+            expected_keys = {
+                build_extension(prefix, pair)
+                for pair in allowed
+                if any(pair in extension_pairs(raw, prefix) for _, raw in group)
+            }
+            assert set(seen_keys) == expected_keys
+
+    def test_ascending_key_order(self):
+        import random as _random
+
+        from repro.core.partition import iterate_extension_partitions
+        from repro.core.sequence import flatten
+
+        rng = _random.Random(67)
+        for _ in range(15):
+            db = random_database(rng)
+            members = db.members()
+            lam = min(minimum_item(raw) for _, raw in members)
+            group = [
+                (cid, raw) for cid, raw in members
+                if any(lam in txn for txn in raw)
+            ]
+            keys = [flatten(key) for key, _ in
+                    iterate_extension_partitions(group, ((lam,),))]
+            assert keys == sorted(keys)

@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These complement the seeded-random tests with shrinking, minimal
+counterexamples, and coverage of degenerate shapes the seeded generators
+rarely hit.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.core.avl import LocativeAVLTree
+from repro.core.discall import disc_all
+from repro.core.dynamic import dynamic_disc_all
+from repro.core.keytable import SortedKeyTable
+from repro.core.kminimum import (
+    extension_pairs,
+    min_extension,
+    minimum_k_subsequence,
+    minimum_k_subsequence_brute,
+)
+from repro.core.order import compare, sort_key
+from repro.core.sequence import (
+    all_k_subsequences,
+    contains,
+    flatten,
+    k_prefix,
+    parse,
+    seq_length,
+    unflatten,
+)
+from repro.db.database import SequenceDatabase
+from repro.mining.api import mine
+
+# -- strategies ----------------------------------------------------------------
+
+items = st.integers(min_value=1, max_value=5)
+transactions = st.frozensets(items, min_size=1, max_size=3).map(
+    lambda s: tuple(sorted(s))
+)
+sequences = st.lists(transactions, min_size=1, max_size=4).map(tuple)
+databases = st.lists(sequences, min_size=1, max_size=8)
+
+
+# -- order properties ------------------------------------------------------------
+
+
+@given(sequences, sequences)
+def test_order_antisymmetric(a, b):
+    assert compare(a, b) == -compare(b, a)
+
+
+@given(sequences, sequences, sequences)
+def test_order_transitive(a, b, c):
+    trio = sorted([a, b, c], key=sort_key)
+    assert compare(trio[0], trio[1]) <= 0
+    assert compare(trio[1], trio[2]) <= 0
+    assert compare(trio[0], trio[2]) <= 0
+
+
+@given(sequences, sequences)
+def test_order_total(a, b):
+    assert compare(a, b) in (-1, 0, 1)
+    assert (compare(a, b) == 0) == (flatten(a) == flatten(b))
+
+
+@given(sequences)
+def test_flatten_roundtrip(seq):
+    assert unflatten(flatten(seq)) == seq
+
+
+# -- k-minimum properties -----------------------------------------------------
+
+
+@given(sequences, st.integers(min_value=1, max_value=4))
+def test_kminimum_is_smallest_subsequence(seq, k):
+    got = minimum_k_subsequence(seq, k)
+    subs = all_k_subsequences(seq, k)
+    if not subs:
+        assert got is None
+    else:
+        assert got in subs
+        assert all(flatten(got) <= flatten(sub) for sub in subs)
+
+
+@given(sequences, st.integers(min_value=1, max_value=4))
+def test_kminimum_fast_equals_brute(seq, k):
+    assert minimum_k_subsequence(seq, k) == minimum_k_subsequence_brute(seq, k)
+
+
+@given(sequences, st.integers(min_value=1, max_value=3))
+def test_extension_pairs_sound_and_prefix_preserving(seq, k):
+    for prefix in all_k_subsequences(seq, k):
+        for pair in extension_pairs(seq, prefix):
+            from repro.core.kminimum import build_extension
+
+            grown = build_extension(prefix, pair)
+            assert contains(seq, grown)
+            assert k_prefix(grown, k) == prefix
+
+
+@given(sequences)
+def test_min_extension_is_contained(seq):
+    for prefix in all_k_subsequences(seq, 1):
+        grown = min_extension(seq, prefix)
+        if grown is not None:
+            assert contains(seq, grown)
+            assert seq_length(grown) == 2
+
+
+# -- miner equivalence ------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(databases, st.integers(min_value=1, max_value=4))
+def test_all_miners_agree_with_oracle(raws, delta):
+    members = list(enumerate(raws, start=1))
+    expected = mine_bruteforce(members, delta)
+    assert disc_all(members, delta).patterns == expected
+    assert dynamic_disc_all(members, delta).patterns == expected
+    db = SequenceDatabase(tuple(raws))
+    for name in ("prefixspan", "pseudo", "gsp", "spade", "spam"):
+        assert mine(db, delta, algorithm=name).patterns == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(databases, st.integers(min_value=1, max_value=3))
+def test_monotonicity_in_delta(raws, delta):
+    """Raising delta can only shrink the frequent set."""
+    members = list(enumerate(raws, start=1))
+    low = disc_all(members, delta).patterns
+    high = disc_all(members, delta + 1).patterns
+    assert set(high) <= set(low)
+    for pattern, count in high.items():
+        assert low[pattern] == count
+
+
+@settings(max_examples=30, deadline=None)
+@given(databases)
+def test_every_sequence_supports_its_own_subpatterns(raws):
+    """delta=1 mining finds exactly the union of all subsequences up to
+    the frequency-1 threshold — in particular every single transaction's
+    itemsets are present."""
+    members = list(enumerate(raws, start=1))
+    patterns = disc_all(members, 1).patterns
+    for raw in raws:
+        for txn in raw:
+            assert ((txn[0],),) in patterns
+
+
+# -- index structures --------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 100)), max_size=60))
+def test_index_backends_agree(ops):
+    tree: LocativeAVLTree = LocativeAVLTree()
+    table: SortedKeyTable = SortedKeyTable()
+    for key, value in ops:
+        tree.insert(key, value)
+        table.insert(key, value)
+    assert len(tree) == len(table)
+    assert list(tree.items()) == list(table.items())
+    for rank in range(1, len(table) + 1):
+        assert tree.key_at_rank(rank) == table.key_at_rank(rank)
+    tree.check_invariants()
+    table.check_invariants()
+    if ops:
+        assert tree.pop_min_bucket() == table.pop_min_bucket()
+        assert list(tree.items()) == list(table.items())
+
+
+# -- database / generator --------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=3))
+def test_quest_generator_is_deterministic_and_valid(ncust, seed):
+    from repro.core.sequence import validate
+    from repro.datagen import QuestParams, generate
+
+    params = QuestParams(ncust=ncust, nitems=20, npats=10, slen=3, seed=seed)
+    db1 = generate(params)
+    db2 = generate(params)
+    assert db1 == db2
+    assert len(db1) == ncust
+    for seq in db1:
+        validate(seq)

@@ -1,0 +1,138 @@
+"""Tests for the Quest-style synthetic generator (repro.datagen.quest)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import QuestParams, generate
+from repro.exceptions import InvalidParameterError
+
+
+class TestDeterminism:
+    def test_same_seed_same_database(self):
+        params = QuestParams(ncust=50, nitems=40, npats=30, seed=7)
+        assert generate(params) == generate(params)
+
+    def test_different_seed_different_database(self):
+        base = QuestParams(ncust=50, nitems=40, npats=30, seed=7)
+        assert generate(base) != generate(base.scaled(seed=8))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"ncust": 0},
+            {"nitems": 0},
+            {"npats": 0},
+            {"slen": 0},
+            {"tlen": -1},
+            {"patlen": 0},
+            {"litlen": 0},
+            {"corr": 1.5},
+            {"corrupt_mean": -0.1},
+        ],
+    )
+    def test_bad_parameters(self, overrides):
+        with pytest.raises(InvalidParameterError):
+            generate(QuestParams().scaled(**overrides))
+
+    def test_scaled_returns_copy(self):
+        base = QuestParams()
+        other = base.scaled(ncust=7)
+        assert other.ncust == 7
+        assert base.ncust == 1000
+
+
+class TestShape:
+    def test_row_count(self):
+        db = generate(QuestParams(ncust=120, nitems=50, npats=30, seed=1))
+        assert len(db) == 120
+
+    def test_items_in_range(self):
+        params = QuestParams(ncust=60, nitems=25, npats=20, seed=2)
+        db = generate(params)
+        for seq in db:
+            for txn in seq:
+                for item in txn:
+                    assert 1 <= item <= params.nitems
+
+    def test_slen_controls_transactions(self):
+        small = generate(QuestParams(ncust=150, slen=3, nitems=60, npats=40, seed=3))
+        large = generate(QuestParams(ncust=150, slen=9, nitems=60, npats=40, seed=3))
+        assert large.stats.avg_transactions > small.stats.avg_transactions * 1.8
+
+    def test_tlen_controls_itemset_size(self):
+        small = generate(QuestParams(ncust=150, tlen=1.5, nitems=60, npats=40, seed=4))
+        large = generate(QuestParams(ncust=150, tlen=5.0, nitems=60, npats=40, seed=4))
+        assert (
+            large.stats.avg_items_per_transaction
+            > small.stats.avg_items_per_transaction
+        )
+
+    def test_sequences_are_canonical(self):
+        from repro.core.sequence import validate
+
+        db = generate(QuestParams(ncust=80, nitems=40, npats=25, seed=5))
+        for seq in db:
+            validate(seq)
+            assert seq  # non-empty
+
+    def test_embedded_patterns_create_frequent_sequences(self):
+        """The point of Quest data: patterns recur, so mining at a
+        moderate threshold finds multi-item sequences."""
+        from repro.mining.api import mine
+
+        db = generate(QuestParams(ncust=200, slen=5, nitems=80, npats=25, seed=6))
+        result = mine(db, 0.05, algorithm="prefixspan")
+        assert result.max_length() >= 2
+
+
+class TestTwoPhaseTables:
+    def test_itemset_table_shapes(self):
+        import random
+
+        from repro.datagen.quest import QuestParams, _itemset_table
+
+        params = QuestParams(nitems=50, nlits=40, litlen=2.0, seed=3)
+        table, weights = _itemset_table(params, random.Random(3))
+        assert len(table) == len(weights) == 40
+        assert abs(sum(weights) - 1.0) < 1e-9
+        for itemset in table:
+            assert itemset == tuple(sorted(set(itemset)))
+            assert all(1 <= item <= 50 for item in itemset)
+
+    def test_pattern_elements_come_from_itemset_table(self):
+        import random
+
+        from repro.datagen.quest import (
+            QuestParams,
+            _itemset_table,
+            _pattern_table,
+        )
+
+        params = QuestParams(nitems=50, nlits=30, npats=25, corr=0.0, seed=4)
+        rng = random.Random(4)
+        table, weights = _itemset_table(params, rng)
+        entries = set(table)
+        patterns = _pattern_table(params, rng, table, weights)
+        assert len(patterns) == 25
+        for elements, weight, corruption in patterns:
+            assert 0.0 <= corruption <= 1.0
+            assert weight > 0
+            for element in elements:
+                assert element in entries
+
+    def test_nlits_validation(self):
+        import pytest as _pytest
+
+        from repro.datagen.quest import QuestParams
+
+        with _pytest.raises(Exception):
+            QuestParams(nlits=0).validate()
+
+    def test_corrupt_sd_validation(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            QuestParams(corrupt_sd=-0.1).validate()

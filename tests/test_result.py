@@ -1,0 +1,158 @@
+"""Tests for MiningResult (repro.mining.result)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sequence import Sequence, parse
+from repro.mining.api import mine
+from repro.mining.result import MiningResult
+
+
+@pytest.fixture
+def result(table1_db):
+    return mine(table1_db, 2, algorithm="disc-all")
+
+
+class TestLookups:
+    def test_support_accepts_three_forms(self, result):
+        assert result.support("(a, g)(b)") == 2
+        assert result.support(Sequence.of("(a, g)(b)")) == 2
+        assert result.support(parse("(a, g)(b)")) == 2
+
+    def test_support_of_infrequent_is_zero(self, result):
+        assert result.support("(z)") == 0
+
+    def test_contains(self, result):
+        assert "(a)(b)" in result
+        assert Sequence.of("(a)(b)") in result
+        assert "(z)" not in result
+        assert "garbage((" not in result
+
+    def test_len_and_iter(self, result):
+        patterns = list(result)
+        assert len(patterns) == len(result) > 0
+        assert all(isinstance(p, Sequence) for p in patterns)
+
+
+class TestViews:
+    def test_sorted_patterns_order(self, result):
+        ordered = result.sorted_patterns()
+        from repro.core.sequence import flatten, seq_length
+
+        keys = [(seq_length(r), flatten(r)) for r in ordered]
+        assert keys == sorted(keys)
+
+    def test_of_length(self, result):
+        ones = result.of_length(1)
+        assert all(len(r) == 1 and len(r[0]) == 1 for r in ones)
+        assert set(ones) == {((i,),) for i in (1, 2, 5, 6, 7, 8)}
+
+    def test_max_length_and_histogram(self, result):
+        histogram = result.length_histogram()
+        assert sum(histogram.values()) == len(result)
+        assert max(histogram) == result.max_length()
+
+    def test_maximal_patterns(self, result):
+        from repro.core.sequence import contains
+
+        maximal = result.maximal_patterns()
+        maximal_list = list(maximal)
+        for raw in maximal_list:
+            assert not any(
+                contains(other, raw) for other in maximal_list if other != raw
+            )
+        # Every frequent pattern is contained in some maximal one.
+        for raw in result.patterns:
+            assert any(contains(m, raw) for m in maximal_list)
+
+    def test_decoded_without_vocabulary(self, result):
+        rows = result.decoded()
+        assert rows[0][1] >= 2  # support attached
+
+    def test_decoded_with_vocabulary(self):
+        from repro.db.database import SequenceDatabase
+
+        db = SequenceDatabase.from_itemsets(
+            [[["x"], ["y"]], [["x"], ["y"]]]
+        )
+        res = mine(db, 2)
+        decoded = dict(
+            (tuple(tuple(t) for t in pat), sup) for pat, sup in res.decoded()
+        )
+        assert decoded[(("x",), ("y",))] == 2
+
+
+class TestComparison:
+    def test_same_patterns(self, table1_db):
+        a = mine(table1_db, 2, algorithm="disc-all")
+        b = mine(table1_db, 2, algorithm="spade")
+        assert a.same_patterns(b)
+
+    def test_difference_reports_mismatches(self, result):
+        other = MiningResult(
+            patterns={parse("(a)"): 99, parse("(z)"): 1},
+            delta=2,
+            algorithm="fake",
+            database_size=4,
+        )
+        diff = result.difference(other)
+        assert "<(z)>" in diff["only_there"]
+        assert any("<(a)>" in line for line in diff["support_mismatch"])
+        assert diff["only_here"]  # plenty of real patterns missing from fake
+
+    def test_summary_mentions_algorithm_and_counts(self, result):
+        text = result.summary()
+        assert "disc-all" in text
+        assert "frequent sequences" in text
+        assert "L1: 6" in text
+
+
+class TestClosedPatterns:
+    def test_closed_definition(self, result):
+        """No closed pattern has a frequent super-pattern of equal support,
+        and every frequent pattern has a closed super-pattern (or itself)
+        of the same support."""
+        from repro.core.sequence import contains
+
+        closed = result.closed_patterns()
+        for raw, count in closed.items():
+            assert not any(
+                contains(other, raw) and other != raw
+                for other, other_count in result.patterns.items()
+                if other_count == count
+            )
+        for raw, count in result.patterns.items():
+            assert any(
+                c_count == count and contains(c_raw, raw)
+                for c_raw, c_count in closed.items()
+            )
+
+    def test_closed_supersets_of_maximal(self, result):
+        # maximal subset-of closed always holds.
+        assert set(result.maximal_patterns()) <= set(result.closed_patterns())
+
+
+class TestRenderTree:
+    def test_nesting_structure(self, result):
+        text = result.render_tree(max_depth=2)
+        lines = text.splitlines()
+        assert any(line.startswith("<(a)>") for line in lines)
+        # Level-2 patterns are indented under their 1-prefix.
+        roots = [l for l in lines if not l.startswith(" ")]
+        nested = [l for l in lines if l.startswith("  ")]
+        assert len(roots) == 6  # frequent 1-sequences of Table 1
+        assert nested
+
+    def test_supports_shown(self, result):
+        text = result.render_tree(max_depth=1)
+        assert "<(b)>: 4" in text
+
+    def test_min_support_filter(self, result):
+        strong = result.render_tree(min_support=4)
+        assert "<(b)>: 4" in strong
+        assert "<(a)>" not in strong  # support 2
+
+    def test_all_patterns_appear_without_filters(self, result):
+        text = result.render_tree()
+        assert len(text.splitlines()) == len(result)

@@ -1,0 +1,120 @@
+"""Tests for sequential rule generation (repro.ext.rules)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.core.sequence import contains, parse
+from repro.exceptions import InvalidParameterError
+from repro.ext.rules import generate_rules, rules_for
+from tests.conftest import random_database
+
+
+class TestGenerateRules:
+    def test_statistics_are_true_probabilities(self):
+        rng = random.Random(151)
+        for _ in range(15):
+            db = random_database(rng, max_customers=10)
+            members = db.members()
+            raws = [raw for _, raw in members]
+            delta = rng.randint(1, max(1, len(members) // 2))
+            patterns = mine_bruteforce(members, delta)
+            rules = generate_rules(patterns, len(raws), min_confidence=0.01)
+            for rule in rules:
+                whole = rule.antecedent + rule.consequent
+                supp_whole = sum(1 for raw in raws if contains(raw, whole))
+                supp_ante = sum(
+                    1 for raw in raws if contains(raw, rule.antecedent)
+                )
+                assert rule.support == supp_whole
+                assert rule.confidence == pytest.approx(supp_whole / supp_ante)
+
+    def test_min_confidence_filters(self, table1_members):
+        patterns = mine_bruteforce(table1_members, 2)
+        strict = generate_rules(patterns, 4, min_confidence=1.0)
+        loose = generate_rules(patterns, 4, min_confidence=0.5)
+        assert len(strict) < len(loose)
+        assert all(rule.confidence == 1.0 for rule in strict)
+
+    def test_known_rule(self, table1_members):
+        # <(a, g)> occurs in CIDs 1, 4; both continue with <(b)>.
+        patterns = mine_bruteforce(table1_members, 2)
+        rules = generate_rules(patterns, 4, min_confidence=0.9)
+        match = [
+            r for r in rules
+            if r.antecedent == parse("(a, g)") and r.consequent == parse("(b)")
+        ]
+        assert len(match) == 1
+        assert match[0].confidence == 1.0
+        assert match[0].support == 2
+        # lift: confidence 1.0 over P(<(b)>) = 4/4 -> 1.0
+        assert match[0].lift == pytest.approx(1.0)
+
+    def test_sorted_by_confidence_then_support(self, table1_members):
+        patterns = mine_bruteforce(table1_members, 2)
+        rules = generate_rules(patterns, 4, min_confidence=0.3)
+        keys = [(-r.confidence, -r.support) for r in rules]
+        assert keys == sorted(keys)
+
+    def test_single_transaction_patterns_make_no_rules(self):
+        patterns = {parse("(a)"): 3, parse("(a, b)"): 2, parse("(b)"): 2}
+        assert generate_rules(patterns, 3, 0.1) == []
+
+    def test_truncated_map_rejected(self):
+        patterns = {parse("(a)(b)"): 2}  # missing <(a)> and <(b)>
+        with pytest.raises(InvalidParameterError, match="downward-closed"):
+            generate_rules(patterns, 3, 0.1)
+
+    @pytest.mark.parametrize("conf", [0, -0.5, 1.5])
+    def test_confidence_validation(self, conf):
+        with pytest.raises(InvalidParameterError):
+            generate_rules({}, 1, conf)
+
+    def test_database_size_validation(self):
+        with pytest.raises(InvalidParameterError):
+            generate_rules({}, 0, 0.5)
+
+
+class TestRulesFor:
+    def test_prediction_view(self, table1_members):
+        patterns = mine_bruteforce(table1_members, 2)
+        rules = generate_rules(patterns, 4, min_confidence=0.5)
+        a = parse("(a)")
+        for rule in rules_for(rules, a):
+            assert rule.antecedent == a
+
+
+class TestPredictNext:
+    def test_prediction_ranking(self, table1_members):
+        from repro.ext.rules import predict_next
+
+        patterns = mine_bruteforce(table1_members, 2)
+        rules = generate_rules(patterns, 4, min_confidence=0.3)
+        history = parse("(a, g)")
+        predictions = predict_next(rules, history, top=3)
+        assert predictions
+        confidences = [conf for _, conf in predictions]
+        assert confidences == sorted(confidences, reverse=True)
+        # <(a, g)> always continues with <(b)> in Table 1.
+        assert predictions[0][1] == 1.0
+
+    def test_no_applicable_rules(self, table1_members):
+        from repro.ext.rules import predict_next
+
+        patterns = mine_bruteforce(table1_members, 2)
+        rules = generate_rules(patterns, 4, min_confidence=0.3)
+        assert predict_next(rules, parse("(z)")) == []
+
+    def test_best_confidence_wins_per_consequent(self):
+        from repro.core.sequence import parse as p
+        from repro.ext.rules import SequentialRule, predict_next
+
+        rules = [
+            SequentialRule(p("(a)"), p("(c)"), 2, 0.4, 1.0),
+            SequentialRule(p("(b)"), p("(c)"), 2, 0.9, 1.0),
+        ]
+        predictions = predict_next(rules, p("(a)(b)"))
+        assert predictions == [(p("(c)"), 0.9)]

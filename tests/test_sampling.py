@@ -1,0 +1,131 @@
+"""Tests for database sampling (repro.db.sampling)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.sequence import parse, support_count
+from repro.db.sampling import (
+    SupportEstimate,
+    estimate_support,
+    sample_customers,
+    split_customers,
+    _normal_quantile,
+)
+from repro.exceptions import InvalidParameterError
+from tests.conftest import random_database
+
+
+class TestSampleCustomers:
+    def test_size_and_determinism(self, table1_db):
+        sample = sample_customers(table1_db, 0.5, seed=1)
+        assert len(sample) == 2
+        again = sample_customers(table1_db, 0.5, seed=1)
+        assert sample == again
+        other = sample_customers(table1_db, 0.5, seed=2)
+        # 4C2 = 6 subsets; different seeds usually differ (seed 1 vs 2 do).
+        assert sample != other
+
+    def test_full_fraction_identity(self, table1_db):
+        assert sample_customers(table1_db, 1.0).sequences == table1_db.sequences
+
+    def test_subset_of_original(self):
+        rng = random.Random(201)
+        for _ in range(10):
+            db = random_database(rng, max_customers=10)
+            sample = sample_customers(db, 0.4, seed=3)
+            original = list(db.sequences)
+            # Order-preserving subsequence of the originals.
+            it = iter(original)
+            assert all(any(seq == o for o in it) for seq in sample.sequences)
+
+    @pytest.mark.parametrize("fraction", [0, -0.5, 1.5])
+    def test_fraction_validation(self, table1_db, fraction):
+        with pytest.raises(InvalidParameterError):
+            sample_customers(table1_db, fraction)
+
+    def test_vocabulary_shared(self):
+        from repro.db.database import SequenceDatabase
+
+        db = SequenceDatabase.from_itemsets([[["x"]], [["y"]], [["z"]]])
+        assert sample_customers(db, 0.5).vocabulary is db.vocabulary
+
+
+class TestSplitCustomers:
+    def test_partition_property(self):
+        rng = random.Random(202)
+        for _ in range(10):
+            db = random_database(rng, max_customers=12)
+            if len(db) < 2:
+                continue
+            train, test = split_customers(db, 0.7, seed=4)
+            assert len(train) + len(test) == len(db)
+            assert len(train) >= 1 and len(test) >= 1
+            combined = sorted(list(train.sequences) + list(test.sequences))
+            assert combined == sorted(db.sequences)
+
+    def test_determinism(self, table1_db):
+        a = split_customers(table1_db, 0.5, seed=9)
+        b = split_customers(table1_db, 0.5, seed=9)
+        assert a[0] == b[0] and a[1] == b[1]
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -1, 2])
+    def test_validation(self, table1_db, fraction):
+        with pytest.raises(InvalidParameterError):
+            split_customers(table1_db, fraction)
+
+
+class TestEstimateSupport:
+    def test_full_sample_is_exact(self, table1_db):
+        pattern = parse("(a, g)(b)")
+        estimate = estimate_support(table1_db, pattern, 1.0)
+        true = support_count(table1_db.sequences, pattern) / len(table1_db)
+        assert estimate.fraction == pytest.approx(true)
+        assert estimate.low == estimate.high == estimate.fraction
+
+    def test_interval_contains_truth_mostly(self):
+        """~95% of 95% intervals must cover the true fraction."""
+        rng = random.Random(203)
+        from repro.db.database import SequenceDatabase
+
+        # A 400-customer database where <(a)(b)> holds ~40% of the time.
+        seqs = []
+        for _ in range(400):
+            seqs.append(parse("(a)(b)") if rng.random() < 0.4 else parse("(c)"))
+        db = SequenceDatabase(seqs)
+        pattern = parse("(a)(b)")
+        truth = support_count(db.sequences, pattern) / len(db)
+        covered = 0
+        trials = 40
+        for seed in range(trials):
+            est = estimate_support(db, pattern, 0.25, seed=seed)
+            if est.low <= truth <= est.high:
+                covered += 1
+        assert covered >= trials * 0.8  # loose: avoids flakiness
+
+    def test_count_extrapolation(self):
+        estimate = SupportEstimate(0.25, 0.2, 0.3, 100)
+        assert estimate.count_in(1000) == pytest.approx(250.0)
+
+    def test_confidence_validation(self, table1_db):
+        with pytest.raises(InvalidParameterError):
+            estimate_support(table1_db, parse("(a)"), 0.5, confidence=1.5)
+
+
+class TestNormalQuantile:
+    def test_known_values(self):
+        assert _normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert _normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert _normal_quantile(0.025) == pytest.approx(-1.959964, abs=1e-4)
+        assert _normal_quantile(0.999) == pytest.approx(3.090232, abs=1e-3)
+
+    def test_tails(self):
+        assert _normal_quantile(1e-6) < -4
+        assert _normal_quantile(1 - 1e-6) > 4
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            _normal_quantile(0.0)

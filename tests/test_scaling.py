@@ -1,0 +1,82 @@
+"""Tests for the empirical scaling fit (repro.bench.scaling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scaling import PowerLawFit, fit_power_law, scaling_exponents
+from repro.exceptions import InvalidParameterError
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law_recovered(self):
+        xs = [10, 20, 40, 80]
+        ys = [3 * x**1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_linear_and_quadratic(self):
+        xs = [1, 2, 4, 8, 16]
+        assert fit_power_law(xs, xs).exponent == pytest.approx(1.0)
+        assert fit_power_law(xs, [x * x for x in xs]).exponent == pytest.approx(2.0)
+
+    def test_noisy_fit_reasonable(self):
+        xs = [100, 200, 400, 800]
+        ys = [0.01 * x**1.2 * noise for x, noise in zip(xs, (1.05, 0.95, 1.02, 0.99))]
+        fit = fit_power_law(xs, ys)
+        assert 1.1 < fit.exponent < 1.3
+        assert fit.r_squared > 0.99
+
+    def test_predict(self):
+        fit = PowerLawFit(exponent=2.0, coefficient=3.0, r_squared=1.0)
+        assert fit.predict(4) == pytest.approx(48.0)
+
+    def test_str(self):
+        fit = fit_power_law([1, 2], [2, 4])
+        assert "x^1.000" in str(fit)
+
+    @pytest.mark.parametrize(
+        "xs, ys",
+        [
+            ([1], [1]),  # too few
+            ([1, 2], [1]),  # mismatched
+            ([1, 2], [0, 1]),  # non-positive y
+            ([0, 2], [1, 1]),  # non-positive x
+            ([2, 2], [1, 3]),  # degenerate x
+        ],
+    )
+    def test_validation(self, xs, ys):
+        with pytest.raises(InvalidParameterError):
+            fit_power_law(xs, ys)
+
+
+class TestScalingExponents:
+    def test_per_algorithm(self):
+        sizes = [100, 200, 400]
+        fits = scaling_exponents(
+            sizes,
+            {"linear": [1, 2, 4], "quadratic": [1, 4, 16]},
+        )
+        assert fits["linear"].exponent == pytest.approx(1.0)
+        assert fits["quadratic"].exponent == pytest.approx(2.0)
+
+    def test_on_real_fig8_timings(self):
+        """End-to-end: both miners scale roughly linearly on Figure 8's
+        sweep (smoke scale), with DISC-all's exponent not exceeding
+        PrefixSpan's by a wide margin."""
+        from repro.bench.harness import SCALES, timed_mine
+        from repro.bench.experiments import _fig8_db
+
+        scale = SCALES["smoke"]
+        sizes, disc_times, ps_times = [], [], []
+        for ncust in scale.fig8_ncust:
+            db = _fig8_db(scale, ncust)
+            sizes.append(ncust)
+            disc_times.append(max(1e-4, timed_mine(db, scale.fig8_minsup, "disc-all")[0]))
+            ps_times.append(max(1e-4, timed_mine(db, scale.fig8_minsup, "prefixspan")[0]))
+        fits = scaling_exponents(sizes, {"disc": disc_times, "ps": ps_times})
+        # Loose sanity: neither looks quadratic on this workload.
+        assert fits["disc"].exponent < 2.2
+        assert fits["ps"].exponent < 2.2

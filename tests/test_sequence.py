@@ -1,0 +1,247 @@
+"""Unit tests for the sequence data model (repro.core.sequence)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.sequence import (
+    EMPTY,
+    Sequence,
+    all_k_subsequences,
+    canonical,
+    contains,
+    flatten,
+    format_seq,
+    itemset_extension,
+    k_prefix,
+    leftmost_match,
+    parse,
+    seq_length,
+    sequence_extension,
+    support_count,
+    unflatten,
+    validate,
+)
+from repro.exceptions import InvalidSequenceError
+from tests.conftest import random_sequence
+
+
+class TestCanonical:
+    def test_sorts_and_dedups(self):
+        assert canonical([[3, 1, 3], [2]]) == ((1, 3), (2,))
+
+    def test_rejects_empty_itemset(self):
+        with pytest.raises(InvalidSequenceError):
+            canonical([[1], []])
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(InvalidSequenceError):
+            canonical([["a"]])
+
+    def test_empty_sequence_allowed(self):
+        assert canonical([]) == EMPTY
+
+
+class TestValidate:
+    def test_accepts_canonical(self):
+        validate(((1, 2), (3,)))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            ((2, 1),),  # unsorted
+            ((1, 1),),  # duplicate
+            ((),),  # empty transaction
+            [[1]],  # wrong container type
+            (("a",),),  # non-integer
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(InvalidSequenceError):
+            validate(bad)  # type: ignore[arg-type]
+
+
+class TestFlatten:
+    def test_numbers_transactions_from_one(self):
+        assert flatten(((1,), (2, 3), (4,))) == ((1, 1), (2, 2), (3, 2), (4, 3))
+
+    def test_roundtrip(self):
+        rng = random.Random(5)
+        for _ in range(100):
+            raw = random_sequence(rng)
+            assert unflatten(flatten(raw)) == raw
+
+    def test_unflatten_rejects_decreasing_numbers(self):
+        with pytest.raises(InvalidSequenceError):
+            unflatten(((1, 2), (2, 1)))
+
+    def test_unflatten_compacts_gaps(self):
+        # Flat prefixes of sequences can skip transaction numbers.
+        assert unflatten(((1, 1), (2, 3))) == ((1,), (2,))
+
+
+class TestLength:
+    def test_paper_definition(self):
+        # Length = total item occurrences, Section 1.
+        assert seq_length(parse("(a)(b)(c, d)(e)")) == 5
+        assert seq_length(EMPTY) == 0
+
+
+class TestKPrefix:
+    def test_paper_example(self):
+        # Section 3.2: the 3-prefix of <(a)(a, g, h)(c)> is <(a)(a, g)>.
+        assert k_prefix(parse("(a)(a, g, h)(c)"), 3) == parse("(a)(a, g)")
+
+    def test_full_prefix_is_identity(self):
+        raw = parse("(a, b)(c)")
+        assert k_prefix(raw, 3) == raw
+
+    def test_zero_prefix(self):
+        assert k_prefix(parse("(a)"), 0) == EMPTY
+
+    def test_too_long_raises(self):
+        with pytest.raises(InvalidSequenceError):
+            k_prefix(parse("(a)"), 2)
+
+    def test_negative_raises(self):
+        with pytest.raises(InvalidSequenceError):
+            k_prefix(parse("(a)"), -1)
+
+
+class TestContainment:
+    def test_paper_definition_examples(self, table1_members):
+        big = dict(table1_members)[1]  # (a, e, g)(b)(h)(f)(c)(b, f)
+        assert contains(big, parse("(a)(b)(b)"))
+        assert contains(big, parse("(a, e)(b, f)"))
+        assert not contains(big, parse("(b)(a)"))
+        assert not contains(big, parse("(a, b)"))
+
+    def test_empty_contained_everywhere(self):
+        assert contains(parse("(a)"), EMPTY)
+
+    def test_leftmost_match_indices(self):
+        big = parse("(c)(a, b)(a)(b)")
+        assert leftmost_match(big, parse("(a)(b)")) == (1, 3)
+        assert leftmost_match(big, parse("(a, b)")) == (1,)
+        assert leftmost_match(big, parse("(b)(c)")) is None
+
+    def test_self_containment(self):
+        rng = random.Random(6)
+        for _ in range(50):
+            raw = random_sequence(rng)
+            assert contains(raw, raw)
+
+    def test_containment_via_subsequence_enumeration(self):
+        rng = random.Random(7)
+        for _ in range(30):
+            raw = random_sequence(rng, max_transactions=4, max_itemset=2)
+            for k in range(1, min(4, seq_length(raw)) + 1):
+                for sub in all_k_subsequences(raw, k):
+                    assert contains(raw, sub)
+
+    def test_support_count(self, table1_members):
+        db = [raw for _, raw in table1_members]
+        assert support_count(db, parse("(a, g)(b)")) == 2
+        assert support_count(db, parse("(z)")) == 0
+
+
+class TestSubsequenceEnumeration:
+    def test_counts_for_single_transaction(self):
+        # k-subsequences of one n-itemset are the C(n, k) combinations.
+        raw = parse("(a, b, c, d)")
+        assert len(all_k_subsequences(raw, 2)) == 6
+        assert len(all_k_subsequences(raw, 4)) == 1
+
+    def test_k_zero_and_too_large(self):
+        raw = parse("(a)(b)")
+        assert all_k_subsequences(raw, 0) == set()
+        assert all_k_subsequences(raw, 3) == set()
+
+    def test_distinctness(self):
+        # <(a)(a)> has the 1-subsequence <(a)> once, not twice.
+        assert all_k_subsequences(parse("(a)(a)"), 1) == {((1,),)}
+
+
+class TestExtensions:
+    def test_itemset_extension(self):
+        assert itemset_extension(parse("(a)(b)"), 3) == parse("(a)(b, c)")
+
+    def test_itemset_extension_must_grow(self):
+        with pytest.raises(InvalidSequenceError):
+            itemset_extension(parse("(a)(c)"), 2)
+
+    def test_itemset_extension_of_empty(self):
+        with pytest.raises(InvalidSequenceError):
+            itemset_extension(EMPTY, 1)
+
+    def test_sequence_extension(self):
+        assert sequence_extension(parse("(a)"), 1) == parse("(a)(a)")
+
+
+class TestParseFormat:
+    def test_roundtrip_letters(self):
+        for text in ["(a, e, g)(b)(h)", "(a)", "(a, b)(a, b)"]:
+            assert format_seq(parse(text)) == f"<{text}>"
+
+    def test_numeric_tokens(self):
+        assert parse("(10, 2)(30)") == ((2, 10), (30,))
+
+    def test_angle_brackets_accepted(self):
+        assert parse("<(a)(b)>") == parse("(a)(b)")
+
+    def test_empty_text(self):
+        assert parse("") == EMPTY
+        assert parse("<>") == EMPTY
+
+    @pytest.mark.parametrize("bad", ["a)(b", "(a,)(b)", "(ab!)", "(a)(b", "x"])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(InvalidSequenceError):
+            parse(bad)
+
+    def test_format_large_items_numeric(self):
+        assert format_seq(((27, 100),)) == "<(27, 100)>"
+
+
+class TestSequenceClass:
+    def test_of_and_properties(self):
+        s = Sequence.of("(a, b)(c)")
+        assert s.length == 3
+        assert s.size == 2
+        assert s.raw == ((1, 2), (3,))
+        assert s.flat == ((1, 1), (2, 1), (3, 2))
+
+    def test_ordering_operators(self):
+        assert Sequence.of("(a, b)(c)") < Sequence.of("(a)(b, c)")
+        assert Sequence.of("(a)") <= Sequence.of("(a)")
+        assert Sequence.of("(b)") > Sequence.of("(a)(z)")
+
+    def test_contains_operator(self):
+        assert Sequence.of("(a)(b)") in Sequence.of("(a, e, g)(b)")
+        assert Sequence.of("(b)(a)") not in Sequence.of("(a, e, g)(b)")
+
+    def test_hash_and_equality(self):
+        s1 = Sequence.of("(a)(b)")
+        s2 = Sequence([[1], [2]])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert len({s1, s2}) == 1
+
+    def test_iteration_and_indexing(self):
+        s = Sequence.of("(a, b)(c)")
+        assert list(s) == [(1, 2), (3,)]
+        assert s[1] == (3,)
+        assert len(s) == 2
+
+    def test_repr_and_str(self):
+        s = Sequence.of("(a)(b)")
+        assert str(s) == "<(a)(b)>"
+        assert "Sequence.of" in repr(s)
+
+    def test_from_raw_validates(self):
+        with pytest.raises(InvalidSequenceError):
+            Sequence.from_raw(((2, 1),))
+
+    def test_k_prefix_method(self):
+        assert Sequence.of("(a)(a, g, h)(c)").k_prefix(3) == Sequence.of("(a)(a, g)")

@@ -1,0 +1,80 @@
+"""Tests for result serialization (repro.mining.serialize)."""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.mining.api import mine
+from repro.mining.serialize import load_result, save_result
+from tests.conftest import random_database
+
+
+class TestRoundtrip:
+    def test_memory_roundtrip(self, table1_db):
+        result = mine(table1_db, 2)
+        buffer = io.StringIO()
+        save_result(result, buffer)
+        buffer.seek(0)
+        loaded = load_result(buffer)
+        assert loaded.same_patterns(result)
+        assert loaded.delta == result.delta
+        assert loaded.algorithm == result.algorithm
+        assert loaded.database_size == result.database_size
+
+    def test_file_roundtrip(self, tmp_path, table1_db):
+        result = mine(table1_db, 2)
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        assert load_result(path).same_patterns(result)
+
+    def test_random_roundtrips(self):
+        rng = random.Random(181)
+        for _ in range(10):
+            db = random_database(rng)
+            result = mine(db, 1)
+            buffer = io.StringIO()
+            save_result(result, buffer)
+            buffer.seek(0)
+            assert load_result(buffer).same_patterns(result)
+
+
+class TestBadInput:
+    def test_wrong_format_marker(self):
+        with pytest.raises(DataFormatError):
+            load_result(io.StringIO(json.dumps({"format": "other"})))
+
+    def test_not_a_document(self):
+        with pytest.raises(DataFormatError):
+            load_result(io.StringIO("[1, 2, 3]"))
+
+    def test_wrong_version(self):
+        payload = {"format": "repro.mining-result", "version": 99}
+        with pytest.raises(DataFormatError):
+            load_result(io.StringIO(json.dumps(payload)))
+
+    def test_missing_fields(self):
+        payload = {"format": "repro.mining-result", "version": 1}
+        with pytest.raises(DataFormatError):
+            load_result(io.StringIO(json.dumps(payload)))
+
+
+class TestCliSave:
+    def test_mine_save_flag(self, tmp_path, table1_db, capsys):
+        from repro.cli import main
+        from repro.db.io import write_spmf
+
+        db_path = tmp_path / "db.spmf"
+        write_spmf(table1_db, db_path)
+        out_path = tmp_path / "patterns.json"
+        assert main([
+            "mine", str(db_path), "--min-support", "2",
+            "--save", str(out_path), "--top", "1",
+        ]) == 0
+        assert "saved" in capsys.readouterr().out
+        loaded = load_result(out_path)
+        assert len(loaded) == 56

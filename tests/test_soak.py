@@ -1,0 +1,74 @@
+"""Soak tests: moderate Quest workloads through every miner.
+
+Heavier than the unit tests (a few seconds each) but still CI-friendly;
+they exercise code paths the tiny random databases cannot reach —
+multi-item flist entries, deep DISC rounds, real partition fan-out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import QuestParams, generate
+from repro.mining.api import mine
+
+WORKLOADS = {
+    "sparse": QuestParams(
+        ncust=150, slen=5, tlen=2.0, nitems=120, patlen=3, npats=60,
+        nlits=80, seed=23,
+    ),
+    "dense": QuestParams(
+        ncust=120, slen=5, tlen=3.5, nitems=60, patlen=5, npats=30,
+        nlits=40, seed=24,
+    ),
+    "long-sequences": QuestParams(
+        ncust=80, slen=10, tlen=2.0, nitems=100, patlen=4, npats=50,
+        nlits=60, seed=25,
+    ),
+}
+
+FAST_MINERS = (
+    "disc-all", "disc-all-plain", "dynamic-disc-all", "multilevel-disc-all",
+    "prefixspan", "pseudo", "spade", "spam",
+)
+
+
+@pytest.fixture(scope="module", params=sorted(WORKLOADS))
+def workload(request):
+    db = generate(WORKLOADS[request.param])
+    minsup = 0.04 if request.param == "sparse" else 0.08
+    reference = mine(db, minsup, algorithm="prefixspan")
+    return db, minsup, reference
+
+
+def test_reference_is_nontrivial(workload):
+    _, _, reference = workload
+    assert len(reference) > 50
+    assert reference.max_length() >= 3
+
+
+@pytest.mark.parametrize("algorithm", FAST_MINERS)
+def test_all_miners_agree_on_quest_data(workload, algorithm):
+    db, minsup, reference = workload
+    result = mine(db, minsup, algorithm=algorithm)
+    assert result.same_patterns(reference), result.difference(reference)
+
+
+def test_verification_on_quest_data(workload):
+    from repro.mining.verify import verify_patterns
+
+    db, _, reference = workload
+    report = verify_patterns(
+        reference.patterns, list(db.sequences), reference.delta, sample=40
+    )
+    assert report.ok, report.errors
+
+
+def test_nrr_profile_is_sane(workload):
+    from repro.core.nrr import compute_nrr_profile
+
+    db, _, reference = workload
+    profile = compute_nrr_profile(reference.patterns, len(db)).averages()
+    assert profile
+    for level, value in profile.items():
+        assert 0.0 < value <= 1.0, (level, value)

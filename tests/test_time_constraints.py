@@ -1,0 +1,145 @@
+"""Tests for GSP-style time constraints (repro.ext.time_constraints)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.core.sequence import all_k_subsequences, contains, parse, seq_length
+from repro.exceptions import InvalidParameterError, InvalidSequenceError
+from repro.ext.time_constraints import (
+    TimeConstraints,
+    TimedSequence,
+    contains_timed,
+    evenly_spaced_database,
+    mine_timed,
+)
+from tests.conftest import random_database, random_sequence
+
+
+class TestTimedSequence:
+    def test_valid(self):
+        ts = TimedSequence(parse("(a)(b)"), (0.0, 2.5))
+        assert ts.times == (0.0, 2.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(InvalidSequenceError):
+            TimedSequence(parse("(a)(b)"), (0.0,))
+
+    def test_decreasing_times(self):
+        with pytest.raises(InvalidSequenceError):
+            TimedSequence(parse("(a)(b)"), (2.0, 1.0))
+
+    def test_evenly_spaced(self):
+        ts = TimedSequence.evenly_spaced(parse("(a)(b)(c)"), step=3.0)
+        assert ts.times == (0.0, 3.0, 6.0)
+
+
+class TestConstraintValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window_size": -1},
+            {"min_gap": -1},
+            {"min_gap": 2, "max_gap": 2},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            TimeConstraints(**kwargs).validate()
+
+
+class TestContainsTimed:
+    def test_defaults_equal_plain_containment(self):
+        """window=0, min_gap=0 on strictly increasing times == plain."""
+        rng = random.Random(171)
+        for _ in range(60):
+            raw = random_sequence(rng, max_transactions=5, max_itemset=2)
+            ts = TimedSequence.evenly_spaced(raw)
+            for k in range(1, min(4, seq_length(raw)) + 1):
+                for pattern in all_k_subsequences(raw, k):
+                    assert contains_timed(ts, pattern) == contains(raw, pattern)
+
+    def test_window_merges_transactions(self):
+        # (a) and (b) one time unit apart: a window of 1 hosts <(a, b)>.
+        ts = TimedSequence(parse("(a)(b)"), (0.0, 1.0))
+        assert not contains_timed(ts, parse("(a, b)"))
+        assert contains_timed(ts, parse("(a, b)"), TimeConstraints(window_size=1.0))
+
+    def test_window_respects_span(self):
+        ts = TimedSequence(parse("(a)(c)(b)"), (0.0, 5.0, 10.0))
+        assert not contains_timed(
+            ts, parse("(a, b)"), TimeConstraints(window_size=9.0)
+        )
+        assert contains_timed(
+            ts, parse("(a, b)"), TimeConstraints(window_size=10.0)
+        )
+
+    def test_min_gap_in_time_units(self):
+        ts = TimedSequence(parse("(a)(b)"), (0.0, 3.0))
+        assert contains_timed(ts, parse("(a)(b)"), TimeConstraints(min_gap=2.9))
+        assert not contains_timed(ts, parse("(a)(b)"), TimeConstraints(min_gap=3.0))
+
+    def test_max_gap_in_time_units(self):
+        ts = TimedSequence(parse("(a)(b)(b)"), (0.0, 2.0, 9.0))
+        assert contains_timed(
+            ts, parse("(a)(b)"), TimeConstraints(max_gap=2.0)
+        )
+        # Backtracking: only the near b satisfies max_gap.
+        assert not contains_timed(
+            ts, parse("(a)(b)(b)"), TimeConstraints(max_gap=2.0)
+        )
+        assert contains_timed(
+            ts, parse("(a)(b)(b)"), TimeConstraints(max_gap=9.0)
+        )
+
+    def test_gsp_max_gap_measured_start_to_end(self):
+        """max_gap compares u_i against l_{i-1} — the *start* of the
+        previous window — so a wide previous window tightens it."""
+        # <(a, b)> needs window [0, 4]; next element at time 6:
+        # u_2 - l_1 = 6 - 0 = 6 > 5 -> rejected despite 6 - 4 = 2.
+        ts = TimedSequence(parse("(a)(b)(c)"), (0.0, 4.0, 6.0))
+        c = TimeConstraints(window_size=4.0, max_gap=5.0)
+        assert not contains_timed(ts, parse("(a, b)(c)"), c)
+        assert contains_timed(
+            ts, parse("(a, b)(c)"), TimeConstraints(window_size=4.0, max_gap=6.0)
+        )
+
+    def test_empty_pattern(self):
+        ts = TimedSequence.evenly_spaced(parse("(a)"))
+        assert contains_timed(ts, ())
+
+
+class TestMineTimed:
+    def test_defaults_equal_plain_mining(self):
+        rng = random.Random(172)
+        for _ in range(15):
+            db = random_database(rng, max_customers=8)
+            raws = list(db.sequences)
+            delta = rng.randint(1, max(1, len(raws) // 2))
+            timed = evenly_spaced_database(raws)
+            assert mine_timed(timed, delta) == mine_bruteforce(
+                db.members(), delta
+            )
+
+    def test_window_creates_new_patterns(self):
+        # a and b never co-occur but are always 1 time unit apart.
+        raws = [parse("(a)(b)")] * 3
+        timed = evenly_spaced_database(raws)
+        plain = mine_timed(timed, 3)
+        windowed = mine_timed(timed, 3, TimeConstraints(window_size=1.0))
+        assert parse("(a, b)") not in plain
+        assert windowed[parse("(a, b)")] == 3
+
+    def test_max_gap_removes_patterns(self):
+        raws = [parse("(a)(c)(c)(b)")] * 3
+        timed = evenly_spaced_database(raws)
+        tight = mine_timed(timed, 3, TimeConstraints(max_gap=1.0))
+        assert parse("(a)(b)") not in tight
+        assert parse("(a)(c)") in tight
+
+    def test_delta_validation(self):
+        with pytest.raises(InvalidParameterError):
+            mine_timed([], 0)

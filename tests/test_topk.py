@@ -1,0 +1,70 @@
+"""Tests for top-k mining (repro.ext.topk)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.core.sequence import flatten, parse, seq_length
+from repro.exceptions import InvalidParameterError
+from repro.ext.topk import mine_topk
+from tests.conftest import random_database
+
+
+def oracle_topk(members, k, min_length=1):
+    """Ground truth: full delta=1 mining, sort, cut."""
+    patterns = mine_bruteforce(members, 1)
+    ranked = sorted(
+        (
+            (pattern, count)
+            for pattern, count in patterns.items()
+            if seq_length(pattern) >= min_length
+        ),
+        key=lambda pc: (-pc[1], flatten(pc[0])),
+    )
+    return ranked[:k]
+
+
+class TestTopK:
+    def test_matches_oracle_random(self):
+        rng = random.Random(131)
+        for _ in range(25):
+            db = random_database(rng, max_customers=8, max_transactions=4)
+            members = db.members()
+            k = rng.randint(1, 12)
+            assert mine_topk(members, k) == oracle_topk(members, k)
+
+    def test_min_length_filter(self):
+        rng = random.Random(132)
+        for _ in range(15):
+            db = random_database(rng, max_customers=8, max_transactions=4)
+            members = db.members()
+            got = mine_topk(members, 5, min_length=2)
+            assert got == oracle_topk(members, 5, min_length=2)
+            assert all(seq_length(p) >= 2 for p, _ in got)
+
+    def test_descending_support_order(self, table1_members):
+        results = mine_topk(table1_members, 10)
+        supports = [count for _, count in results]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_fewer_patterns_than_k(self):
+        members = [(1, parse("(a)"))]
+        assert mine_topk(members, 10) == [(parse("(a)"), 1)]
+
+    def test_k_one_is_most_frequent(self, table1_members):
+        [(pattern, count)] = mine_topk(table1_members, 1)
+        # b and f both appear in all four sequences; b is smaller.
+        assert pattern == parse("(b)")
+        assert count == 4
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            mine_topk([], 0)
+        with pytest.raises(InvalidParameterError):
+            mine_topk([], 1, min_length=0)
+
+    def test_empty_database(self):
+        assert mine_topk([], 3) == []

@@ -1,0 +1,62 @@
+"""Tests for database representation transforms (repro.db.transform)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.sequence import parse
+from repro.db.transform import (
+    as_single_items,
+    horizontal_format,
+    relabel_items,
+    vertical_format,
+)
+from repro.exceptions import InvalidDatabaseError
+from tests.conftest import random_database
+
+
+class TestVertical:
+    def test_paper_example(self, table1_members):
+        vertical = vertical_format(table1_members)
+        # <(a)> occurs in CID 1 txn 1 and CID 4 txn 2 (0-based: 0 and 1).
+        assert vertical[1] == [(1, 0), (4, 1)]
+
+    def test_roundtrip_random(self):
+        rng = random.Random(111)
+        for _ in range(30):
+            members = random_database(rng).members()
+            assert horizontal_format(vertical_format(members)) == members
+
+    def test_horizontal_rejects_gaps(self):
+        with pytest.raises(InvalidDatabaseError):
+            horizontal_format({1: [(1, 0)], 2: [(1, 2)]})  # txn 1 missing
+
+    def test_empty(self):
+        assert vertical_format([]) == {}
+        assert horizontal_format({}) == []
+
+
+class TestSingleItems:
+    def test_flattens_itemsets(self):
+        assert as_single_items(parse("(a, b)(c)")) == parse("(a)(b)(c)")
+
+    def test_identity_on_single_items(self):
+        raw = parse("(a)(b)(c)")
+        assert as_single_items(raw) == raw
+
+
+class TestRelabel:
+    def test_mapping(self):
+        assert relabel_items(parse("(a, b)(c)"), {1: 10, 2: 20, 3: 30}) == (
+            (10, 20),
+            (30,),
+        )
+
+    def test_callable_and_recanonicalisation(self):
+        # Reversing item order forces a re-sort.
+        assert relabel_items(parse("(a, b)"), lambda i: 10 - i) == ((8, 9),)
+
+    def test_merging_collisions_deduplicate(self):
+        assert relabel_items(parse("(a, b)"), lambda _: 5) == ((5,),)

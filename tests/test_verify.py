@@ -1,0 +1,74 @@
+"""Tests for mining-result verification (repro.mining.verify)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.bruteforce import mine_bruteforce
+from repro.core.sequence import parse
+from repro.mining.verify import verify_patterns
+from tests.conftest import random_database
+
+
+class TestVerifyPatterns:
+    def test_correct_results_pass(self):
+        rng = random.Random(121)
+        for _ in range(10):
+            db = random_database(rng)
+            members = db.members()
+            delta = rng.randint(1, max(1, len(members) // 2))
+            patterns = mine_bruteforce(members, delta)
+            report = verify_patterns(patterns, list(db.sequences), delta)
+            assert report.ok, report.errors
+            assert report.checked_supports == len(patterns)
+
+    def test_detects_wrong_support(self, table1_db):
+        patterns = mine_bruteforce(table1_db.members(), 2)
+        patterns[parse("(a)")] = 99
+        report = verify_patterns(patterns, list(table1_db.sequences), 2)
+        assert not report.ok
+        assert any("support mismatch" in error for error in report.errors)
+
+    def test_detects_below_threshold(self, table1_db):
+        patterns = mine_bruteforce(table1_db.members(), 2)
+        patterns[parse("(d)")] = 1  # support 1 < delta 2
+        report = verify_patterns(patterns, list(table1_db.sequences), 2)
+        assert any("below threshold" in error for error in report.errors)
+
+    def test_detects_missing_prefix(self, table1_db):
+        patterns = mine_bruteforce(table1_db.members(), 2)
+        del patterns[parse("(a)")]
+        report = verify_patterns(patterns, list(table1_db.sequences), 2)
+        assert any("missing prefix" in error for error in report.errors)
+
+    def test_detects_missing_extension(self, table1_db):
+        patterns = mine_bruteforce(table1_db.members(), 2)
+        del patterns[parse("(a)(b)(b)")]
+        # Removing a maximal-ish pattern also leaves its prefix dangling;
+        # the extension probe finds the hole from below.
+        report = verify_patterns(patterns, list(table1_db.sequences), 2)
+        assert any(
+            "missing frequent extension" in error or "missing prefix" in error
+            for error in report.errors
+        )
+
+    def test_sampling_bounds_work(self, table1_db):
+        patterns = mine_bruteforce(table1_db.members(), 2)
+        report = verify_patterns(
+            patterns, list(table1_db.sequences), 2, sample=5
+        )
+        assert report.checked_supports == 5
+        assert report.ok
+
+    def test_max_errors_caps_messages(self, table1_db):
+        patterns = mine_bruteforce(table1_db.members(), 2)
+        broken = {pattern: 999 for pattern in patterns}
+        report = verify_patterns(
+            broken, list(table1_db.sequences), 2, max_errors=3
+        )
+        assert len(report.errors) == 3
+
+    def test_summary_format(self, table1_db):
+        patterns = mine_bruteforce(table1_db.members(), 2)
+        report = verify_patterns(patterns, list(table1_db.sequences), 2)
+        assert "verification OK" in report.summary()

@@ -1,0 +1,94 @@
+"""Tests for the weighted-mining extension (repro.ext.weighted)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.sequence import all_k_subsequences, parse, seq_length, support_count
+from repro.exceptions import InvalidParameterError
+from repro.ext.weighted import WeightedResult, mine_weighted, pattern_weight
+from tests.conftest import random_database
+
+
+def brute_weighted(raws, weights, tau):
+    """Oracle: enumerate all subsequences, apply the definition."""
+    result = {}
+    pool = set()
+    for raw in raws:
+        for k in range(1, seq_length(raw) + 1):
+            pool |= all_k_subsequences(raw, k)
+    for pattern in pool:
+        count = support_count(raws, pattern)
+        wsup = count * pattern_weight(pattern, weights)
+        if wsup >= tau:
+            result[pattern] = (count, wsup)
+    return result
+
+
+class TestPatternWeight:
+    def test_mean_of_items(self):
+        weights = {1: 2.0, 2: 4.0}
+        assert pattern_weight(parse("(a)(b)"), weights) == pytest.approx(3.0)
+
+    def test_default_weight_one(self):
+        assert pattern_weight(parse("(z)"), {}) == pytest.approx(1.0)
+
+    def test_occurrences_weighted_individually(self):
+        weights = {1: 3.0}
+        assert pattern_weight(parse("(a)(a)"), weights) == pytest.approx(3.0)
+
+
+class TestMineWeighted:
+    def test_matches_oracle_random(self):
+        rng = random.Random(101)
+        for _ in range(25):
+            db = random_database(
+                rng, max_customers=8, max_transactions=4, max_itemset=2
+            )
+            raws = [raw for _, raw in db.members()]
+            items = {item for raw in raws for txn in raw for item in txn}
+            weights = {item: rng.choice([0.5, 1.0, 2.0]) for item in items}
+            tau = rng.uniform(1.0, len(raws))
+            got = mine_weighted(db.members(), weights, tau)
+            expected = brute_weighted(raws, weights, tau)
+            assert set(got.patterns) == set(expected)
+            for pattern, (count, wsup) in got.patterns.items():
+                assert count == expected[pattern][0]
+                assert wsup == pytest.approx(expected[pattern][1])
+
+    def test_high_weight_rescues_low_support_pattern(self):
+        """The non-anti-monotone case the paper motivates: a pattern can
+        qualify while a more frequent sub-pattern does not."""
+        members = [
+            (1, parse("(a)(z)")),
+            (2, parse("(a)(z)")),
+            (3, parse("(a)")),
+            (4, parse("(b)")),
+        ]
+        weights = {1: 1.0, 26: 10.0}  # z is precious
+        result = mine_weighted(members, weights, tau=10.0)
+        assert parse("(a)(z)") in result.patterns  # 2 * 5.5 = 11 >= 10
+        assert parse("(a)") not in result.patterns  # 3 * 1.0 < 10
+        assert result.weighted_support(parse("(a)(z)")) == pytest.approx(11.0)
+
+    def test_tau_validation(self):
+        with pytest.raises(InvalidParameterError):
+            mine_weighted([], {}, 0)
+
+    def test_weight_validation(self):
+        with pytest.raises(InvalidParameterError):
+            mine_weighted([], {1: -1.0}, 1.0)
+
+    def test_uniform_weights_reduce_to_plain_mining(self, table1_members):
+        from repro.baselines.bruteforce import mine_bruteforce
+
+        result = mine_weighted(table1_members, {}, tau=2.0)
+        plain = mine_bruteforce(table1_members, 2)
+        assert {p: c for p, (c, _) in result.patterns.items()} == plain
+
+    def test_empty_result_container(self):
+        result = WeightedResult({}, tau=5.0)
+        assert len(result) == 0
+        assert result.weighted_support(parse("(a)")) == 0.0
