@@ -1,0 +1,42 @@
+"""Static analysis for the repro codebase (system S24).
+
+An AST-based lint engine that turns the repo's algorithmic invariants —
+above all the paper's "no support counting in the DISC loop" claim
+(Lemmas 2.1/2.2) — into machine-checked rules.  Stdlib-only (``ast`` +
+``tokenize``); see ``docs/DEVELOPMENT.md`` for the rule catalog.
+
+Programmatic use::
+
+    from repro.analysis import lint_paths, lint_source
+    findings, checked = lint_paths(["src"])
+
+Command line::
+
+    repro lint src/                 # or: python -m repro.analysis src/
+    repro lint --list-rules
+    repro lint --format json src/
+"""
+
+from repro.analysis.engine import (
+    lint_file,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.reporting import render_json, render_text, rule_counts
+from repro.analysis.visitor import Rule, register, rule_catalog
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+    "rule_counts",
+]

@@ -1,0 +1,162 @@
+"""Lint engine: file walking, suppression comments, rule dispatch (system S24).
+
+The engine parses each module once with :mod:`ast`, extracts
+``# repro: allow[RULE]`` suppression comments with :mod:`tokenize`, runs
+every in-scope rule through the single-pass visitor framework, filters
+suppressed findings and returns the rest sorted by position.  It is
+deliberately stdlib-only (``ast`` + ``tokenize``) so the gate adds no
+dependency to the repo.
+
+Suppression grammar: a comment ``# repro: allow[DISC002]`` (several ids
+separated by commas are accepted) suppresses the named rules on its own
+line; a comment alone on a line also covers the line below, so multi-line
+statements can be annotated above their first line.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence, Type
+
+from repro.analysis.findings import PARSE_ERROR_ID, Finding
+
+# Importing the catalog registers the default rules.
+from repro.analysis import rules as _rules  # noqa: F401  (side-effect import)
+from repro.analysis.visitor import (
+    LintContext,
+    Rule,
+    rule_catalog,
+    walk_module,
+)
+
+_ALLOW_PATTERN = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """``# repro: allow[...]`` comments by the line they are written on."""
+    comments: dict[int, frozenset[str]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return comments
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_PATTERN.search(token.string)
+        if match is None:
+            continue
+        ids = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        if ids:
+            line = token.start[0]
+            comments[line] = comments.get(line, frozenset()) | ids
+    return comments
+
+
+def _effective_suppressions(
+    source: str, comments: dict[int, frozenset[str]]
+) -> dict[int, frozenset[str]]:
+    """Per-line suppression map.
+
+    A suppression covers its own line; when the comment stands alone on
+    its line it also propagates down through any further comment-only
+    lines onto the first code line below (so a multi-line explanation
+    above a statement suppresses the statement).
+    """
+    lines = source.splitlines()
+    effective: dict[int, frozenset[str]] = {}
+
+    def extend(line: int, ids: frozenset[str]) -> None:
+        effective[line] = effective.get(line, frozenset()) | ids
+
+    def is_comment_only(line: int) -> bool:
+        text = lines[line - 1] if 0 < line <= len(lines) else ""
+        return text.lstrip().startswith("#")
+
+    for line, ids in comments.items():
+        extend(line, ids)
+        if is_comment_only(line):
+            below = line + 1
+            while below <= len(lines) and is_comment_only(below):
+                extend(below, ids)
+                below += 1
+            extend(below, ids)
+    return effective
+
+
+def _resolve_rules(rule_ids: Sequence[str] | None) -> list[Type[Rule]]:
+    catalog = rule_catalog()
+    if rule_ids is None:
+        return list(catalog.values())
+    selected: list[Type[Rule]] = []
+    for rule_id in rule_ids:
+        if rule_id not in catalog:
+            known = ", ".join(catalog)
+            raise ValueError(f"unknown rule id {rule_id!r}; known: {known}")
+        selected.append(catalog[rule_id])
+    return selected
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    rule_ids: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint one module given as text; *path* drives rule scoping."""
+    rule_classes = _resolve_rules(rule_ids)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        line = exc.lineno if exc.lineno is not None else 1
+        col = exc.offset if exc.offset is not None else 0
+        return [Finding(PARSE_ERROR_ID, path, line, col, f"syntax error: {exc.msg}")]
+    comments = parse_suppressions(source)
+    ctx = LintContext(path, source, tree, comments)
+    active = [
+        rule_class()
+        for rule_class in rule_classes
+        if rule_class.applies_to(ctx.rel_path)
+    ]
+    walk_module(tree, active, ctx)
+    suppressed = _effective_suppressions(source, comments)
+    kept = [
+        finding
+        for finding in ctx.findings
+        if finding.rule_id not in suppressed.get(finding.line, frozenset())
+    ]
+    return sorted(kept, key=Finding.sort_index)
+
+
+def lint_file(path: str | Path, rule_ids: Sequence[str] | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    target = Path(path)
+    source = target.read_text(encoding="utf-8")
+    return lint_source(source, path=str(target), rule_ids=rule_ids)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rule_ids: Sequence[str] | None = None
+) -> tuple[list[Finding], int]:
+    """Lint files and directories; returns (findings, files_checked)."""
+    findings: list[Finding] = []
+    checked = 0
+    for file_path in iter_python_files(paths):
+        checked += 1
+        findings.extend(lint_file(file_path, rule_ids=rule_ids))
+    return sorted(findings, key=Finding.sort_index), checked

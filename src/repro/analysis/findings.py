@@ -1,0 +1,32 @@
+"""Lint findings (system S24).
+
+A :class:`Finding` is one rule violation at one source location.  The
+engine returns findings sorted by position; the reporters in
+:mod:`repro.analysis.reporting` render them for terminals and tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Rule id used for files the engine cannot parse at all.
+PARSE_ERROR_ID = "LINT000"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation: ``path:line:col: RULE message``."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """The conventional compiler-style one-liner."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def sort_index(self) -> tuple[str, int, int, str]:
+        """Stable report order: by file, then position, then rule id."""
+        return (self.path, self.line, self.col, self.rule_id)

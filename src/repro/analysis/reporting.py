@@ -1,0 +1,43 @@
+"""Finding reporters: terminal text and machine-readable JSON (system S24)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+
+#: Schema version of the JSON report; bump on shape changes.
+JSON_REPORT_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], files_checked: int) -> str:
+    """Compiler-style ``path:line:col: RULE message`` lines plus a summary."""
+    lines = [finding.render() for finding in findings]
+    noun = "file" if files_checked == 1 else "files"
+    if findings:
+        lines.append(f"{len(findings)} finding(s) in {files_checked} {noun}")
+    else:
+        lines.append(f"clean: {files_checked} {noun}, 0 findings")
+    return "\n".join(lines)
+
+
+def rule_counts(findings: Sequence[Finding]) -> dict[str, int]:
+    """Number of findings per rule id, sorted by rule id."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_json(findings: Sequence[Finding], files_checked: int) -> str:
+    """JSON document with the findings, per-rule counts and metadata."""
+    payload = {
+        "format": "repro.lint-report",
+        "version": JSON_REPORT_VERSION,
+        "files_checked": files_checked,
+        "counts": rule_counts(findings),
+        "findings": [asdict(finding) for finding in findings],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,91 @@
+"""Entry point shared by ``repro lint`` and ``python -m repro.analysis``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import lint_paths
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.visitor import rule_catalog
+
+
+def list_rules() -> str:
+    """Human-readable catalog of the registered rules."""
+    blocks = []
+    for rule_id, rule_class in rule_catalog().items():
+        scopes = ", ".join(rule_class.scopes) if rule_class.scopes else "all modules"
+        blocks.append(
+            f"{rule_id}: {rule_class.title}\n"
+            f"  scope: {scopes}\n"
+            f"  {rule_class.rationale}"
+        )
+    return "\n".join(blocks)
+
+
+def run_lint(
+    paths: Sequence[str],
+    output_format: str = "text",
+    rule_ids: Sequence[str] | None = None,
+    show_rules: bool = False,
+) -> int:
+    """Lint *paths*; returns 0 clean, 1 with findings, 2 on usage errors."""
+    if show_rules:
+        print(list_rules())
+        return 0
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+        return 2
+    try:
+        findings, checked = lint_paths(paths, rule_ids=rule_ids)
+    except ValueError as exc:  # unknown rule id in --rules
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_json if output_format == "json" else render_text
+    print(renderer(findings, checked))
+    return 1 if findings else 0
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options on *parser* (shared with the repro CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", default="",
+        help="comma-separated rule ids to run (default: every rule)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def lint_from_args(args: argparse.Namespace) -> int:
+    """Run the linter from parsed arguments (argparse Namespace)."""
+    rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+    return run_lint(
+        args.paths,
+        output_format=args.format,
+        rule_ids=rule_ids or None,
+        show_rules=args.list_rules,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.analysis`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="DISC-invariant lint engine for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return lint_from_args(parser.parse_args(argv))

@@ -1,0 +1,183 @@
+"""Visitor framework and rule registry for the lint engine (system S24).
+
+A :class:`Rule` is a stateful object instantiated once per linted module.
+The engine walks the module's AST exactly once in pre-order, maintaining
+the ancestor stack in a :class:`LintContext`, and hands every node to
+every rule whose scope covers the module.  Rules report violations
+through :meth:`LintContext.report`; suppression comments are applied by
+the engine afterwards, so rules never need to know about them.
+
+Registering a rule is one decorator::
+
+    @register
+    class MyRule(Rule):
+        rule_id = "DISC042"
+        ...
+
+Scopes are path prefixes relative to the ``repro`` package root (for
+example ``("core/", "mining/")`` or the exact file ``("core/disc.py",)``);
+an empty scope tuple applies the rule to every module.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import PurePosixPath
+from typing import ClassVar, Iterator, Mapping, Type
+
+from repro.analysis.findings import Finding
+
+
+def module_rel_path(path: str) -> str:
+    """Path of a module relative to the ``repro`` package root.
+
+    ``src/repro/core/disc.py`` maps to ``core/disc.py``; paths without a
+    ``repro`` component are returned as given (normalised to ``/``).
+    The fixture trees under ``tests/`` embed a ``repro`` component so
+    that scoped rules can be exercised on fixture files.
+    """
+    parts = PurePosixPath(str(path).replace(os.sep, "/")).parts
+    if "repro" in parts:
+        anchor = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        rel = parts[anchor + 1 :]
+        if rel:
+            return "/".join(rel)
+    return "/".join(parts)
+
+
+class LintContext:
+    """Per-module state shared by the engine and the rules."""
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        allow_comments: Mapping[int, frozenset[str]],
+    ) -> None:
+        self.path = path
+        self.rel_path = module_rel_path(path)
+        self.source = source
+        self.tree = tree
+        #: suppression comments by the line they are written on (raw view;
+        #: the engine derives the effective per-line suppression from it)
+        self.allow_comments = dict(allow_comments)
+        self.findings: list[Finding] = []
+        self._stack: list[ast.AST] = []
+
+    # -- ancestry ----------------------------------------------------------
+
+    @property
+    def ancestors(self) -> tuple[ast.AST, ...]:
+        """Ancestors of the node being visited, outermost first."""
+        return tuple(self._stack)
+
+    def inside(self, *node_types: type[ast.AST]) -> bool:
+        """True when any ancestor is an instance of the given types."""
+        return any(isinstance(node, node_types) for node in self._stack)
+
+    def enclosing_function(self) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The innermost enclosing function definition, if any."""
+        for node in reversed(self._stack):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+        return None
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+        """Record a violation of *rule* at *node*."""
+        line = int(getattr(node, "lineno", 1))
+        col = int(getattr(node, "col_offset", 0))
+        self.report_at(rule, line, col, message)
+
+    def report_at(self, rule: "Rule", line: int, col: int, message: str) -> None:
+        """Record a violation at an explicit position."""
+        self.findings.append(Finding(rule.rule_id, self.path, line, col, message))
+
+
+class Rule:
+    """Base class for lint rules; subclass and :func:`register`."""
+
+    rule_id: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+    #: path prefixes (relative to the package root) the rule applies to;
+    #: empty means every module
+    scopes: ClassVar[tuple[str, ...]] = ()
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        """True when the rule's scope covers the module at *rel_path*."""
+        if not cls.scopes:
+            return True
+        return any(rel_path.startswith(scope) for scope in cls.scopes)
+
+    def start_module(self, ctx: LintContext) -> None:
+        """Hook called once before the walk of a module."""
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        """Hook called for every AST node (including the module itself)."""
+
+    def finish_module(self, ctx: LintContext) -> None:
+        """Hook called once after the walk of a module."""
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    existing = _REGISTRY.get(rule_class.rule_id)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"duplicate rule id {rule_class.rule_id!r}")
+    _REGISTRY[rule_class.rule_id] = rule_class
+    return rule_class
+
+
+def rule_catalog() -> dict[str, Type[Rule]]:
+    """All registered rules, keyed and sorted by rule id."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def known_rule_ids() -> frozenset[str]:
+    """The set of registered rule ids."""
+    return frozenset(_REGISTRY)
+
+
+def walk_module(tree: ast.Module, rules: list[Rule], ctx: LintContext) -> None:
+    """Single pre-order walk dispatching every node to every rule."""
+    for rule in rules:
+        rule.start_module(ctx)
+
+    def recurse(node: ast.AST) -> None:
+        for rule in rules:
+            rule.visit(node, ctx)
+        ctx._stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            recurse(child)
+        ctx._stack.pop()
+
+    recurse(tree)
+    for rule in rules:
+        rule.finish_module(ctx)
+
+
+def iter_subtree(node: ast.AST, *, skip_functions: bool = False) -> Iterator[ast.AST]:
+    """Pre-order iteration over a subtree, optionally skipping nested defs.
+
+    With ``skip_functions=True`` the bodies of nested function definitions
+    are not entered (the nested definitions themselves are still yielded),
+    which lets per-function rules scan each function exactly once.
+    """
+    yield node
+    for child in ast.iter_child_nodes(node):
+        if skip_functions and isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            yield child
+            continue
+        yield from iter_subtree(child, skip_functions=skip_functions)

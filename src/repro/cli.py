@@ -7,6 +7,7 @@ Usage examples::
     repro experiment fig8 --scale repro
     repro algorithms
     repro stats db.spmf
+    repro lint src/ --format json
 """
 
 from __future__ import annotations
@@ -174,6 +175,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import lint_from_args
+
+    return lint_from_args(args)
+
+
 def _cmd_algorithms(_args: argparse.Namespace) -> int:
     for name in available_algorithms():
         print(name)
@@ -278,6 +285,14 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--sample", type=int, default=200,
                         help="patterns to recount (default 200)")
     verify.set_defaults(func=_cmd_verify)
+
+    lint = sub.add_parser(
+        "lint", help="run the DISC-invariant static analysis over source files"
+    )
+    from repro.analysis.runner import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     algos = sub.add_parser("algorithms", help="list registered algorithms")
     algos.set_defaults(func=_cmd_algorithms)

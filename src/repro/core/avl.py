@@ -11,15 +11,18 @@ The k-sorted database must support three operations efficiently:
 This module implements an AVL tree whose nodes carry a *bucket* of entries
 per distinct key plus the total number of entries in their subtree, giving
 O(log n) rank selection (``key_at_rank``) alongside the usual balanced
-insert/delete.  Keys are any totally ordered values; the k-sorted database
+insert/delete.  Keys are any totally ordered values satisfying the
+:class:`~repro.core.comparable.Comparable` protocol; the k-sorted database
 uses flattened sequences (see :mod:`repro.core.order`).
 """
 
 from __future__ import annotations
 
-from typing import Any, Generic, Iterator, TypeVar
+from typing import Generic, Iterator, TypeVar
 
-K = TypeVar("K")
+from repro.core.comparable import Comparable
+
+K = TypeVar("K", bound=Comparable)
 V = TypeVar("V")
 
 
@@ -35,20 +38,20 @@ class _Node(Generic[K, V]):
         self.count = 1  # total entries (bucket sizes) in this subtree
 
 
-def _height(node: _Node | None) -> int:
+def _height(node: _Node[K, V] | None) -> int:
     return node.height if node is not None else 0
 
 
-def _count(node: _Node | None) -> int:
+def _count(node: _Node[K, V] | None) -> int:
     return node.count if node is not None else 0
 
 
-def _refresh(node: _Node) -> None:
+def _refresh(node: _Node[K, V]) -> None:
     node.height = 1 + max(_height(node.left), _height(node.right))
     node.count = len(node.bucket) + _count(node.left) + _count(node.right)
 
 
-def _rotate_right(node: _Node) -> _Node:
+def _rotate_right(node: _Node[K, V]) -> _Node[K, V]:
     pivot = node.left
     assert pivot is not None
     node.left = pivot.right
@@ -58,7 +61,7 @@ def _rotate_right(node: _Node) -> _Node:
     return pivot
 
 
-def _rotate_left(node: _Node) -> _Node:
+def _rotate_left(node: _Node[K, V]) -> _Node[K, V]:
     pivot = node.right
     assert pivot is not None
     node.right = pivot.left
@@ -68,7 +71,7 @@ def _rotate_left(node: _Node) -> _Node:
     return pivot
 
 
-def _balance(node: _Node) -> _Node:
+def _balance(node: _Node[K, V]) -> _Node[K, V]:
     _refresh(node)
     tilt = _height(node.left) - _height(node.right)
     if tilt > 1:
@@ -118,7 +121,7 @@ class LocativeAVLTree(Generic[K, V]):
             node.bucket.append(value)
             node.count += 1
             return node
-        if key < node.key:  # type: ignore[operator]
+        if key < node.key:
             node.left = self._insert(node.left, key, value)
         else:
             node.right = self._insert(node.right, key, value)
@@ -171,7 +174,7 @@ class LocativeAVLTree(Generic[K, V]):
         while node is not None:
             if key == node.key:
                 return node.bucket
-            node = node.left if key < node.key else node.right  # type: ignore[operator]
+            node = node.left if key < node.key else node.right
         return None
 
     # -- removal -----------------------------------------------------------
@@ -200,7 +203,7 @@ class LocativeAVLTree(Generic[K, V]):
             node = self._root
             while node.left is not None:
                 node = node.left
-            if not (node.key < bound):  # type: ignore[operator]
+            if not (node.key < bound):
                 break
             removed.append(self.pop_min_bucket())
         return removed
@@ -234,12 +237,14 @@ class LocativeAVLTree(Generic[K, V]):
         """Assert AVL balance, ordering and count bookkeeping everywhere."""
         self._check(self._root, None, None)
 
-    def _check(self, node: _Node[K, V] | None, lo: Any, hi: Any) -> tuple[int, int]:
+    def _check(
+        self, node: _Node[K, V] | None, lo: K | None, hi: K | None
+    ) -> tuple[int, int]:
         if node is None:
             return 0, 0
-        if lo is not None and not (lo < node.key):  # type: ignore[operator]
+        if lo is not None and not (lo < node.key):
             raise AssertionError(f"key {node.key!r} violates lower bound {lo!r}")
-        if hi is not None and not (node.key < hi):  # type: ignore[operator]
+        if hi is not None and not (node.key < hi):
             raise AssertionError(f"key {node.key!r} violates upper bound {hi!r}")
         if not node.bucket:
             raise AssertionError(f"empty bucket at key {node.key!r}")

@@ -1,0 +1,30 @@
+"""Comparison protocol for sort keys (system S3 typing support).
+
+The k-sorted-database backends (:mod:`repro.core.avl`,
+:mod:`repro.core.keytable`) order arbitrary key values with ``<`` — in
+practice flattened sequences, i.e. tuples of ``(item, transaction_number)``
+pairs, whose lexicographic order realises the paper's comparative order
+(Definition 2.2; see :mod:`repro.core.order`).  :class:`Comparable` is the
+structural protocol those containers require of their key type, replacing
+the operator-suppression comments that previously papered over the
+unbounded ``TypeVar``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, TypeVar
+
+
+class Comparable(Protocol):
+    """Anything usable as a sort key: supports ``<`` against its own kind.
+
+    Mirrors typeshed's ``SupportsDunderLT``: one total-order operator is
+    enough because every comparison the backends perform is written in
+    terms of ``<`` (and ``==``, which ``object`` always provides).
+    """
+
+    def __lt__(self, other: Any, /) -> bool: ...
+
+
+#: Type variable for key types that honour the :class:`Comparable` protocol.
+ComparableT = TypeVar("ComparableT", bound=Comparable)

@@ -16,7 +16,9 @@ from __future__ import annotations
 from bisect import bisect_left, insort
 from typing import Generic, Iterator, TypeVar
 
-K = TypeVar("K")
+from repro.core.comparable import Comparable
+
+K = TypeVar("K", bound=Comparable)
 V = TypeVar("V")
 
 
@@ -113,7 +115,7 @@ class SortedKeyTable(Generic[K, V]):
     def check_invariants(self) -> None:
         """Assert ordering and size bookkeeping (test aid)."""
         for a, b in zip(self._keys, self._keys[1:]):
-            if not a < b:  # type: ignore[operator]
+            if not a < b:
                 raise AssertionError(f"keys out of order: {a!r} >= {b!r}")
         if set(self._keys) != set(self._buckets):
             raise AssertionError("keys and buckets disagree")

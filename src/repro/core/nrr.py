@@ -50,6 +50,7 @@ class NRRCollector:
         """Average NRR per level, for every level with samples."""
         return {
             level: avg
+            # repro: allow[DISC002] — scalar int levels, not sequences
             for level in sorted(self.samples)
             if (avg := self.average(level)) is not None
         }

@@ -65,6 +65,7 @@ def disc_all_parallel(
     # Direct membership: the partition of lam holds every sequence
     # containing lam (what the reassignment chains produce lazily).
     jobs = []
+    # repro: allow[DISC002] — scalar int items, not sequences
     for lam in sorted(frequent_items):
         group = [
             (cid, seq)

@@ -163,7 +163,9 @@ def iterate_first_level(
     dropping sequences with no further items.
     """
     queue = PartitionQueue()
-    for lam, group in sorted(first_level_partitions(members).items()):
+    partitions = first_level_partitions(members)
+    for lam in sorted(partitions, key=int):
+        group = partitions[lam]
         for member in group:
             queue.add(lam, member)
     for lam, group in queue:
@@ -204,6 +206,8 @@ def iterate_extension_partitions(
             pairs &= frequent_pairs
         if not pairs:
             continue
+        # repro: allow[DISC002] — extension pairs are flat (item, no) keys;
+        # their natural order *is* the comparative order (shared prefix)
         ordered = sorted(pairs)
         cursor = [cid, seq, ordered, 0]
         cursors.append(cursor)

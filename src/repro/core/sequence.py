@@ -48,6 +48,7 @@ def canonical(itemsets: Iterable[Iterable[int]]) -> RawSequence:
                 raise InvalidSequenceError(f"non-integer item {item!r}")
         if not items:
             raise InvalidSequenceError("empty itemset in sequence")
+        # repro: allow[DISC002] — scalar int items within one itemset
         transactions.append(tuple(sorted(items)))
     return tuple(transactions)
 
@@ -344,8 +345,10 @@ class Sequence:
         return contains(self._raw, other._raw)
 
     def __contains__(self, other: object) -> bool:
+        # Unlike the comparison dunders, __contains__ has no reflected
+        # fallback: non-Sequence operands are simply never contained.
         if not isinstance(other, Sequence):
-            return NotImplemented  # type: ignore[return-value]
+            return False
         return self.contains(other)
 
     def __iter__(self) -> Iterator[Transaction]:
@@ -364,7 +367,7 @@ class Sequence:
 
     def __lt__(self, other: "Sequence") -> bool:
         if not isinstance(other, Sequence):
-            return NotImplemented  # type: ignore[return-value]
+            return NotImplemented
         # Lexicographic comparison of flattened (item, no) pairs implements
         # Definition 2.2; see repro.core.order for the proof obligations.
         return self._flat < other._flat

@@ -9,7 +9,7 @@ insertion order as the fallback for unsortable mixtures.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator
+from typing import Any, Hashable, Iterable, Iterator, cast
 
 from repro.exceptions import InvalidDatabaseError
 
@@ -34,7 +34,9 @@ class Vocabulary:
         distinct = list(dict.fromkeys(items))
         if sort:
             try:
-                distinct.sort()  # type: ignore[arg-type]
+                # Hashable alone does not promise an order; the cast keeps
+                # the optimistic sort, the except keeps the fallback.
+                cast("list[Any]", distinct).sort()
             except TypeError:
                 pass
         for item in distinct:

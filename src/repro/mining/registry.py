@@ -98,6 +98,7 @@ def get_algorithm(name: str) -> Miner:
     try:
         return _REGISTRY[name]
     except KeyError:
+        # repro: allow[DISC002] — algorithm name strings, not sequences
         known = ", ".join(sorted(_REGISTRY))
         raise UnknownAlgorithmError(
             f"unknown algorithm {name!r}; known: {known}"
@@ -106,6 +107,7 @@ def get_algorithm(name: str) -> Miner:
 
 def available_algorithms() -> list[str]:
     """Names of all registered algorithms, sorted."""
+    # repro: allow[DISC002] — algorithm name strings, not sequences
     return sorted(_REGISTRY)
 
 

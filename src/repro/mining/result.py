@@ -11,8 +11,9 @@ all miners must agree).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Iterator
+from typing import TYPE_CHECKING, Hashable, Iterator, cast
 
+from repro.core.order import sort_key
 from repro.core.sequence import (
     RawSequence,
     Sequence,
@@ -24,6 +25,9 @@ from repro.core.sequence import (
     seq_length,
 )
 
+if TYPE_CHECKING:
+    from repro.db.vocabulary import Vocabulary
+
 
 @dataclass(frozen=True)
 class MiningResult:
@@ -34,7 +38,7 @@ class MiningResult:
     algorithm: str
     database_size: int
     elapsed_seconds: float = 0.0
-    _vocabulary: object = field(default=None, repr=False, compare=False)
+    _vocabulary: "Vocabulary | None" = field(default=None, repr=False, compare=False)
 
     # -- lookups -------------------------------------------------------------
 
@@ -43,8 +47,10 @@ class MiningResult:
         return self.patterns.get(self._raw_of(pattern), 0)
 
     def __contains__(self, pattern: object) -> bool:
+        if not isinstance(pattern, (Sequence, str, tuple)):
+            return False
         try:
-            raw = self._raw_of(pattern)  # type: ignore[arg-type]
+            raw = self._raw_of(pattern)
         except (TypeError, ValueError):
             return False
         return raw in self.patterns
@@ -88,6 +94,7 @@ class MiningResult:
         for raw in self.patterns:
             length = seq_length(raw)
             histogram[length] = histogram.get(length, 0) + 1
+        # repro: allow[DISC002] — scalar int lengths, not sequences
         return dict(sorted(histogram.items()))
 
     def closed_patterns(self) -> dict[RawSequence, int]:
@@ -131,11 +138,14 @@ class MiningResult:
         """
         vocab = self._vocabulary
         if vocab is None:
-            return self.support(tuple(tuple(sorted(txn)) for txn in itemsets))  # type: ignore[arg-type]
+            # Without a vocabulary the items must already be internal ids.
+            int_itemsets = cast("list[list[int]]", itemsets)
+            # repro: allow[DISC002] — scalar int items within one itemset
+            return self.support(tuple(tuple(sorted(txn)) for txn in int_itemsets))
         from repro.exceptions import InvalidDatabaseError
 
         try:
-            raw = vocab.encode(itemsets)  # type: ignore[attr-defined]
+            raw = vocab.encode(itemsets)
         except InvalidDatabaseError:
             return 0
         return self.support(raw)
@@ -148,7 +158,7 @@ class MiningResult:
             if vocab is None:
                 decoded = [list(txn) for txn in raw]
             else:
-                decoded = vocab.decode(raw)  # type: ignore[attr-defined]
+                decoded = vocab.decode(raw)
             rows.append((decoded, self.patterns[raw]))
         return rows
 
@@ -163,11 +173,17 @@ class MiningResult:
         mine_keys = set(self.patterns)
         their_keys = set(other.patterns)
         return {
-            "only_here": [format_seq(raw) for raw in sorted(mine_keys - their_keys)],
-            "only_there": [format_seq(raw) for raw in sorted(their_keys - mine_keys)],
+            "only_here": [
+                format_seq(raw)
+                for raw in sorted(mine_keys - their_keys, key=sort_key)
+            ],
+            "only_there": [
+                format_seq(raw)
+                for raw in sorted(their_keys - mine_keys, key=sort_key)
+            ],
             "support_mismatch": [
                 f"{format_seq(raw)}: {self.patterns[raw]} != {other.patterns[raw]}"
-                for raw in sorted(mine_keys & their_keys)
+                for raw in sorted(mine_keys & their_keys, key=sort_key)
                 if self.patterns[raw] != other.patterns[raw]
             ],
         }

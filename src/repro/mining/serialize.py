@@ -13,6 +13,7 @@ import json
 from pathlib import Path
 from typing import TextIO
 
+from repro.core.order import sort_key
 from repro.core.sequence import canonical
 from repro.exceptions import DataFormatError
 from repro.mining.result import MiningResult
@@ -32,7 +33,9 @@ def save_result(result: MiningResult, target: str | Path | TextIO) -> None:
         "elapsed_seconds": result.elapsed_seconds,
         "patterns": [
             [[list(txn) for txn in raw], count]
-            for raw, count in sorted(result.patterns.items())
+            for raw, count in sorted(
+                result.patterns.items(), key=lambda entry: sort_key(entry[0])
+            )
         ],
     }
     if isinstance(target, (str, Path)):

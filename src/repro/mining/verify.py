@@ -115,6 +115,8 @@ def verify_patterns(
         pairs = set()
         for seq in sequences:
             pairs |= extension_pairs(seq, pattern)
+        # repro: allow[DISC002] — extension pairs are flat (item, no) keys;
+        # their natural order *is* the comparative order (shared prefix)
         for pair in sorted(pairs):
             grown = build_extension(pattern, pair)
             count = support_count(sequences, grown)

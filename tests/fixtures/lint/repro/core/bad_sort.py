@@ -1,0 +1,12 @@
+"""Violating fixture: default-ordered sorts over sequences in core/.
+
+Expected findings: DISC002 at the sorted() call and at the .sort() call;
+the keyed sort below is clean.
+"""
+
+
+def order_patterns(patterns, sort_key):
+    ranked = sorted(patterns)
+    patterns.sort()
+    keyed = sorted(patterns, key=sort_key)
+    return ranked, keyed

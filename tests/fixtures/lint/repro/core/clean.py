@@ -1,0 +1,22 @@
+"""Clean fixture: idiomatic core/ code that satisfies every rule.
+
+Expected findings: none.
+"""
+
+from dataclasses import dataclass
+
+RawSequence = tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    seq: "RawSequence"
+    support: int
+
+
+def rank(candidates, sort_key):
+    return sorted(candidates, key=sort_key)
+
+
+def extend(seq: RawSequence, item: int) -> RawSequence:
+    return seq + ((item,),)

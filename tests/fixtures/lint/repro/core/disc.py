@@ -1,0 +1,16 @@
+"""Violating fixture: support counting inside the DISC discovery loop.
+
+Expected findings: DISC001 at the CountingArray construction and at the
+.observe_all() call (both inside the while loop).  Never imported by the
+tests — only parsed by the lint engine.
+"""
+
+
+def discover(entries, delta, CountingArray):
+    supports = {}
+    while len(entries) >= delta:
+        array = CountingArray(())
+        array.observe_all(entries)
+        supports.update(array.counts())
+        entries = entries[1:]
+    return supports

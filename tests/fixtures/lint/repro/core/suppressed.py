@@ -1,0 +1,14 @@
+"""Clean fixture: every violation carries a suppression comment.
+
+Expected findings: none — same-line and standalone-comment suppressions
+both apply, including through a multi-line comment block.
+"""
+
+
+def order_levels(levels, histogram):
+    ranked = sorted(levels)  # repro: allow[DISC002]
+    # repro: allow[DISC002] — scalar ints, not sequences
+    histogram.sort()
+    # repro: allow[DISC002] — suppression propagates through a
+    # multi-line explanation onto the first code line below
+    return sorted(histogram), ranked
