@@ -13,6 +13,8 @@ machine-checked static property:
 * **DISC004** — ``core/`` dataclasses declare ``slots=True`` (the hot
   path allocates them by the million);
 * **DISC005** — mining code paths never swallow exceptions silently;
+* **DISC006** — ``core/`` reports telemetry only through the no-op-able
+  :mod:`repro.obs` API, never via ``print`` or ``logging``;
 * **LINT001** — suppression comments must name a registered rule.
 
 Suppress any rule on one line with ``# repro: allow[RULEID]`` (same line
@@ -325,6 +327,57 @@ class NoSilentExceptions(Rule):
                 "exception handler swallows silently (body is only 'pass'); "
                 "re-raise, record, or return a sentinel",
             )
+
+
+@register
+class ObservabilityThroughObsApi(Rule):
+    """DISC006: core/ telemetry goes through repro.obs, never stdout/logging."""
+
+    rule_id = "DISC006"
+    title = "core/ instrumentation must use the no-op-able repro.obs API"
+    rationale = (
+        "The instrumentation contract (docs/DEVELOPMENT.md, Observability) "
+        "is that core/ stays allocation-free when nobody observes: metrics "
+        "and spans go through repro.obs, whose disabled path is shared "
+        "no-op singletons.  print() and the logging module break that "
+        "contract — they format and emit unconditionally, cost time on the "
+        "hot path, and cannot be captured into a RunReport."
+    )
+    scopes = ("core/",)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            ctx.report(
+                self,
+                node,
+                "print() in core/; report through the active observation "
+                "(repro.obs.active().metrics / .tracer) so disabled runs "
+                "stay silent and free",
+            )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "logging" or alias.name.startswith("logging."):
+                    ctx.report(
+                        self,
+                        node,
+                        "logging imported in core/; instrument through "
+                        "repro.obs instead (its no-op default keeps the "
+                        "uninstrumented hot path allocation-free)",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "logging" or module.startswith("logging."):
+                ctx.report(
+                    self,
+                    node,
+                    "logging imported in core/; instrument through "
+                    "repro.obs instead (its no-op default keeps the "
+                    "uninstrumented hot path allocation-free)",
+                )
 
 
 @register

@@ -1,0 +1,79 @@
+"""Instrumented benchmark baselines (``BENCH_*.json`` trajectories).
+
+:func:`collect_baseline` mines the Figure-9 database across the scale's
+minimum-support sweep with observation enabled and condenses each run's
+:class:`~repro.obs.RunReport` into one row: wall time, per-phase span
+totals, and the DISC counters the ablation studies track.  The resulting
+document is committed as ``BENCH_baseline.json`` so later optimisation
+PRs can diff their counters and phase times against a known-good state.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import SCALES, Scale, observed_mine
+from repro.obs import RunReport
+
+#: Counters condensed into each baseline row (see docs/DEVELOPMENT.md,
+#: "Observability" for the full vocabulary).
+BASELINE_COUNTERS = (
+    "disc.comparisons",
+    "disc.lemma1_frequent",
+    "disc.lemma2_prunes",
+    "disc.rounds",
+    "disc.ckms_calls",
+    "discall.first_level_mined",
+    "discall.second_level_mined",
+    "discall.reduced_members",
+    "partition.first_level",
+    "partition.extension",
+    "sorted_db.kms_calls",
+    "sorted_db.kms_dropped",
+)
+
+#: Algorithms baselined (the paper's main configuration and the dynamic
+#: variant it is compared to in Figure 10).
+BASELINE_ALGORITHMS = ("disc-all", "dynamic-disc-all")
+
+BASELINE_FORMAT = "repro.bench-baseline"
+BASELINE_VERSION = 1
+
+
+def _condense(report: RunReport) -> dict[str, object]:
+    """One report -> {phase_seconds, counters} (the comparable core)."""
+    phases = {
+        name: round(seconds, 6) for name, seconds in report.phase_totals().items()
+    }
+    counters = {name: report.counter_total(name) for name in BASELINE_COUNTERS}
+    return {"phase_seconds": phases, "counters": counters}
+
+
+def collect_baseline(
+    scale: str | Scale = "repro",
+    algorithms: tuple[str, ...] = BASELINE_ALGORITHMS,
+) -> dict[str, object]:
+    """Mine the Figure-9 sweep instrumented; return the baseline document."""
+    from repro.bench.experiments import _fig9_db
+
+    resolved = SCALES[scale] if isinstance(scale, str) else scale
+    db = _fig9_db(resolved)
+    runs: list[dict[str, object]] = []
+    for algorithm in algorithms:
+        for minsup in resolved.fig9_minsups:
+            result = observed_mine(db, minsup, algorithm)
+            assert result.report is not None  # observe=True attaches one
+            row: dict[str, object] = {
+                "algorithm": algorithm,
+                "minsup": minsup,
+                "delta": result.delta,
+                "patterns": len(result),
+                "elapsed_seconds": round(result.elapsed_seconds, 6),
+            }
+            row.update(_condense(result.report))
+            runs.append(row)
+    return {
+        "format": BASELINE_FORMAT,
+        "version": BASELINE_VERSION,
+        "scale": resolved.name,
+        "database_size": len(db),
+        "runs": runs,
+    }

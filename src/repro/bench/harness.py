@@ -17,6 +17,7 @@ from typing import Callable
 from repro.bench.reporting import render_table
 from repro.db.database import SequenceDatabase
 from repro.mining.api import mine
+from repro.mining.result import MiningResult
 
 
 @dataclass(frozen=True, slots=True)
@@ -154,6 +155,18 @@ def timed_mine(
     started = time.perf_counter()
     result = mine(db, minsup, algorithm=algorithm, **options)
     return time.perf_counter() - started, len(result)
+
+
+def observed_mine(
+    db: SequenceDatabase, minsup: float, algorithm: str, **options
+) -> MiningResult:
+    """One instrumented mining run; the result carries its RunReport.
+
+    The report is the same document ``repro mine --metrics-json`` writes,
+    so benchmark trajectories (``BENCH_*.json``) and ad-hoc CLI runs stay
+    directly comparable.
+    """
+    return mine(db, minsup, algorithm=algorithm, observe=True, **options)
 
 
 def run_experiment(name: str, scale: str = "repro") -> ExperimentResult:

@@ -68,12 +68,21 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         min_support = int(args.min_support)
     else:
         min_support = args.min_support
-    result = mine(db, min_support, algorithm=args.algorithm)
+    observe = bool(args.trace or args.metrics_json)
+    result = mine(db, min_support, algorithm=args.algorithm, observe=observe)
     print(result.summary())
+    if result.report is not None:
+        if args.trace:
+            print(result.report.render())
+        if args.metrics_json:
+            Path(args.metrics_json).write_text(
+                result.report.to_json(), encoding="utf-8"
+            )
+            print(f"wrote run report to {args.metrics_json}")
     if args.save:
         from repro.mining.serialize import save_result
 
-        save_result(result, args.save)
+        save_result(result, args.save, include_report=observe)
         print(f"saved {len(result)} patterns to {args.save}")
     if args.tree:
         print(result.render_tree())
@@ -104,6 +113,23 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         for result in results:
             print(result.render())
             print()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.baseline import collect_baseline
+
+    document = collect_baseline(scale=args.scale)
+    text = json.dumps(document, indent=1)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        runs = document["runs"]
+        assert isinstance(runs, list)
+        print(f"wrote {len(runs)} baseline runs to {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -236,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
     mine_cmd.add_argument("--save", default="", help="write the result as JSON")
     mine_cmd.add_argument("--tree", action="store_true",
                           help="render patterns as an indented prefix tree")
+    mine_cmd.add_argument("--trace", action="store_true",
+                          help="run instrumented and print the span/metric report")
+    mine_cmd.add_argument("--metrics-json", default="",
+                          help="run instrumented and write the run report as JSON")
     mine_cmd.set_defaults(func=_cmd_mine)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -246,6 +276,14 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--markdown", action="store_true",
                      help="emit markdown tables (EXPERIMENTS.md style)")
     exp.set_defaults(func=_cmd_experiment)
+
+    bench = sub.add_parser(
+        "bench", help="collect an instrumented benchmark baseline (BENCH_*.json)"
+    )
+    bench.add_argument("--scale", default="repro", choices=sorted(SCALES))
+    bench.add_argument("-o", "--output", default="",
+                       help="write the baseline document here (default: stdout)")
+    bench.set_defaults(func=_cmd_bench)
 
     topk = sub.add_parser("topk", help="the k most frequent sequences")
     topk.add_argument("database")

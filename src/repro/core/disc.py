@@ -32,6 +32,7 @@ from repro.core.counting import CountingArray
 from repro.core.kminimum import CkmsQuery, SortedFrequentList, apriori_ckms_entry
 from repro.core.sequence import RawSequence, unflatten
 from repro.core.sorted_db import KSortedDatabase, SortedEntry
+from repro.obs import active
 
 
 @dataclass(slots=True)
@@ -51,6 +52,7 @@ def discover_frequent_k(
     delta: int,
     bilevel: bool = False,
     backend: str = "table",
+    k: int | None = None,
 ) -> DiscoveryResult:
     """Run the frequent k-sequence discovery procedure (Figure 4).
 
@@ -58,13 +60,23 @@ def discover_frequent_k(
     *flist* is the ascending list of frequent (k-1)-sequences with the
     partition prefix; *delta* is the minimum support count; *backend*
     selects the k-sorted-database index (see
-    :data:`repro.core.sorted_db.BACKENDS`).
+    :data:`repro.core.sorted_db.BACKENDS`).  *k* is informational only —
+    it labels this pass's observability metrics so per-length counters
+    reconcile against the result's length histogram.
     """
     if delta < 1:
         raise ValueError(f"delta must be >= 1, got {delta}")
     result = DiscoveryResult()
     if not len(flist):
         return result
+    # Metric handles are fetched once per pass: with observation off these
+    # are shared no-op singletons and the loop below allocates nothing.
+    metrics = active().metrics
+    labels = {} if k is None else {"k": k}
+    lemma1_hits = metrics.counter("disc.lemma1_frequent", **labels)
+    lemma2_prunes = metrics.counter("disc.lemma2_prunes", **labels)
+    pruned_width = metrics.histogram("disc.pruned_width", **labels)
+    ckms_calls = metrics.counter("disc.ckms_calls", **labels)
     sdb = KSortedDatabase(members, flist, backend=backend)
     tree = sdb._tree
     while len(tree) >= delta:
@@ -77,13 +89,23 @@ def discover_frequent_k(
             alpha_1 = unflatten(key_1)
             group = sdb.pop_candidate_group()
             result.frequent_k[alpha_1] = len(group)
+            lemma1_hits.add(1)
             if bilevel:
                 _count_virtual_partition(alpha_1, group, delta, result)
             _advance(sdb, group, alpha_1, strict=True)
         else:
             # Lemma 2.2: nothing in [alpha_1, alpha_delta) can be frequent.
             group = sdb.pop_below(key_delta)
+            lemma2_prunes.add(1)
+            pruned_width.record(len(group))
             _advance(sdb, group, unflatten(key_delta), strict=False)
+        ckms_calls.add(len(group))
+    metrics.counter("disc.comparisons", **labels).add(result.comparisons)
+    if bilevel and result.frequent_k_plus_1:
+        bilevel_labels = {} if k is None else {"k": k + 1}
+        metrics.counter("counting.frequent", **bilevel_labels).add(
+            len(result.frequent_k_plus_1)
+        )
     return result
 
 

@@ -14,12 +14,19 @@ DISC-all combines the four strategies of Table 5:
 The ``bilevel`` flag enables the virtual-partition counting of Section 3.2
 (one discovery pass yields lengths k and k+1); it is on by default, as in
 the paper's experiments.
+
+Execution statistics are not counted twice: every event reports into the
+active :mod:`repro.obs` registry (the same counters ``mine(observe=True)``
+snapshots into its :class:`~repro.obs.RunReport`), and
+:class:`DiscAllStats` is derived from that registry afterwards.  When no
+observation is active, :func:`disc_all` activates a private metrics-only
+one so the returned statistics stay exact.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import ClassVar, Iterable
 
 from repro.core.counting import CountingArray, count_frequent_items
 from repro.core.disc import discover_frequent_k
@@ -31,17 +38,57 @@ from repro.core.partition import (
     reduce_sequence,
 )
 from repro.core.sequence import RawSequence, seq_length
+from repro.obs import (
+    MetricsRegistry,
+    Observation,
+    activated,
+    active,
+    stats_observation,
+)
 
 
 @dataclass(slots=True)
 class DiscAllStats:
-    """Execution counters exposed for the ablation studies."""
+    """Execution counters exposed for the ablation studies.
+
+    A read-out of the observability registry: each field mirrors one
+    counter (summed across labels), captured as a before/after delta so
+    several runs can share one registry.
+    """
 
     first_level_partitions: int = 0
     second_level_partitions: int = 0
     disc_rounds: int = 0
     disc_comparisons: int = 0
     reduced_members: int = 0
+
+    #: registry counter backing each field
+    COUNTERS: ClassVar[dict[str, str]] = {
+        "first_level_partitions": "discall.first_level_mined",
+        "second_level_partitions": "discall.second_level_mined",
+        "disc_rounds": "disc.rounds",
+        "disc_comparisons": "disc.comparisons",
+        "reduced_members": "discall.reduced_members",
+    }
+
+    @classmethod
+    def baseline(cls, metrics: MetricsRegistry) -> dict[str, int]:
+        """Current totals of the backing counters (the 'before' state)."""
+        return {
+            field_name: metrics.counter_total(counter_name)
+            for field_name, counter_name in cls.COUNTERS.items()
+        }
+
+    @classmethod
+    def since(
+        cls, metrics: MetricsRegistry, baseline: dict[str, int]
+    ) -> "DiscAllStats":
+        """Stats accumulated in *metrics* since *baseline* was captured."""
+        return cls(**{
+            field_name: metrics.counter_total(counter_name)
+            - baseline.get(field_name, 0)
+            for field_name, counter_name in cls.COUNTERS.items()
+        })
 
 
 @dataclass(slots=True)
@@ -69,21 +116,48 @@ def disc_all(
     """
     if delta < 1:
         raise ValueError(f"delta must be >= 1, got {delta}")
+    obs = active()
+    if obs.enabled:
+        return _disc_all(members, delta, bilevel, reduce, backend, obs)
+    # Nobody is observing: back the returned stats with a private
+    # observation materialising only the DiscAllStats counters — every
+    # other metric and span stays the shared no-op singletons.
+    with activated(stats_observation(DiscAllStats.COUNTERS.values())) as private:
+        return _disc_all(members, delta, bilevel, reduce, backend, private)
+
+
+def _disc_all(
+    members: Iterable[Member],
+    delta: int,
+    bilevel: bool,
+    reduce: bool,
+    backend: str,
+    obs: Observation,
+) -> DiscAllOutput:
+    """DISC-all reporting into the observation *obs*."""
     members = list(members)
     out = DiscAllOutput()
+    metrics = obs.metrics
+    baseline = DiscAllStats.baseline(metrics)
 
     # Step 1(a): one scan finds the frequent 1-sequences.
     frequent_items = count_frequent_items(members, delta)
+    metrics.counter("counting.frequent", k=1).add(len(frequent_items))
     for item, count in frequent_items.items():
         out.patterns[((item,),)] = count
     item_set = frozenset(frequent_items)
 
     # Steps 1(b)-2.2: first-level partitions in ascending order.
+    mined = metrics.counter("discall.first_level_mined")
     for lam, group in iterate_first_level(members):
         if lam not in frequent_items:
             continue  # Step 2.1 guard: mine only frequent partition keys
-        out.stats.first_level_partitions += 1
-        _process_first_level(lam, group, delta, item_set, bilevel, reduce, backend, out)
+        mined.add(1)
+        with obs.tracer.span("partition", lam=lam, size=len(group)):
+            _process_first_level(
+                lam, group, delta, item_set, bilevel, reduce, backend, out
+            )
+    out.stats = DiscAllStats.since(metrics, baseline)
     return out
 
 
@@ -99,13 +173,18 @@ def _process_first_level(
 ) -> None:
     """Steps 2.1.1-2.1.3: one <(lam)>-partition."""
     anchor: RawSequence = ((lam,),)
+    obs = active()
+    metrics = obs.metrics
 
     # Step 2.1.1: frequent 2-sequences via the counting array (Figure 3).
     array = CountingArray(anchor)
     array.observe_all(group)
     frequent_pairs = set()
+    found_pairs = 0
     for pattern, count in array.frequent(delta):
         out.patterns[pattern] = count
+        found_pairs += 1
+    metrics.counter("counting.frequent", k=2).add(found_pairs)
     for pair, count in array.counts().items():
         if count >= delta:
             frequent_pairs.add(pair)
@@ -119,12 +198,13 @@ def _process_first_level(
             shorter = seq if seq_length(seq) >= 3 else None
         if shorter is not None:
             reduced.append((cid, shorter))
-    out.stats.reduced_members += len(reduced)
+    metrics.counter("discall.reduced_members").add(len(reduced))
 
     # Step 2.1.3: second-level partitions in ascending order.  Only
     # frequent 2-sequence keys can yield longer frequent sequences.
+    mined = metrics.counter("discall.second_level_mined")
     for key, sp_group in iterate_second_level(reduced, lam, frequent_pairs):
-        out.stats.second_level_partitions += 1
+        mined.add(1)
         _process_second_level(key, sp_group, delta, bilevel, backend, out)
 
 
@@ -139,26 +219,30 @@ def _process_second_level(
     """Steps 2.1.3.1-2.1.3.2: one <(lam1 lam2)>-partition."""
     if len(sp_group) < delta:
         return
+    obs = active()
+    metrics = obs.metrics
 
     # Step 2.1.3.1: frequent 3-sequences via the counting array.
     array = CountingArray(key)
     array.observe_all(sp_group)
     frequent_k = {pattern: count for pattern, count in array.frequent(delta)}
+    metrics.counter("counting.frequent", k=3).add(len(frequent_k))
     for pattern, count in frequent_k.items():
         out.patterns[pattern] = count
 
     # Step 2.1.3.2: DISC from k = 4 (stepping by 2 under bi-level).
+    rounds = metrics.counter("disc.rounds")
     k = 4
     while frequent_k:
         flist = SortedFrequentList(frequent_k)
         eligible = [(cid, seq) for cid, seq in sp_group if seq_length(seq) >= k]
         if len(eligible) < delta:
             break
-        out.stats.disc_rounds += 1
-        result = discover_frequent_k(
-            eligible, flist, delta, bilevel=bilevel, backend=backend
-        )
-        out.stats.disc_comparisons += result.comparisons
+        rounds.add(1)
+        with obs.tracer.span("discover_k", k=k, eligible=len(eligible)):
+            result = discover_frequent_k(
+                eligible, flist, delta, bilevel=bilevel, backend=backend, k=k
+            )
         for pattern, count in result.frequent_k.items():
             out.patterns[pattern] = count
         if bilevel:

@@ -20,7 +20,7 @@ from typing import Callable, Iterable
 
 from repro.core.counting import CountingArray, count_frequent_items
 from repro.core.disc import discover_frequent_k
-from repro.core.discall import DiscAllOutput
+from repro.core.discall import DiscAllOutput, DiscAllStats
 from repro.core.kminimum import SortedFrequentList
 from repro.core.partition import (
     Member,
@@ -28,6 +28,7 @@ from repro.core.partition import (
     reduce_sequence,
 )
 from repro.core.sequence import RawSequence, flatten, seq_length
+from repro.obs import activated, active, stats_observation
 
 
 #: Decision callback: (level, nrr) -> True to partition one level deeper,
@@ -97,8 +98,15 @@ def _drive(
     """Shared recursion driver for the adaptive and fixed-depth variants."""
     if delta < 1:
         raise ValueError(f"delta must be >= 1, got {delta}")
+    obs = active()
+    if not obs.enabled:
+        # Back the returned stats with a private observation materialising
+        # only the DiscAllStats counters (same convention as disc_all).
+        with activated(stats_observation(DiscAllStats.COUNTERS.values())):
+            return _drive(members, delta, decide, bilevel, reduce, backend)
     members = list(members)
     out = DiscAllOutput()
+    baseline = DiscAllStats.baseline(obs.metrics)
     frequent_items = frozenset(count_frequent_items(members, delta))
     _mine_partition(
         key=(),
@@ -111,6 +119,7 @@ def _drive(
         frequent_items=frequent_items,
         out=out,
     )
+    out.stats = DiscAllStats.since(obs.metrics, baseline)
     return out
 
 
@@ -129,6 +138,8 @@ def _mine_partition(
     if len(group) < delta:
         return
     level = seq_length(key)
+    obs = active()
+    metrics = obs.metrics
 
     # Step 1: one scan finds the frequent (k+1)-sequences with prefix key.
     array = CountingArray(key)
@@ -136,6 +147,7 @@ def _mine_partition(
     children = dict(array.frequent(delta))
     if not children:
         return
+    metrics.counter("counting.frequent", k=level + 1).add(len(children))
     for pattern, count in children.items():
         out.patterns[pattern] = count
 
@@ -145,9 +157,9 @@ def _mine_partition(
     if decide(level, nrr):
         # Step 3: partition one level deeper and recurse.
         if level == 0:
-            out.stats.first_level_partitions += len(children)
+            metrics.counter("discall.first_level_mined").add(len(children))
         elif level == 1:
-            out.stats.second_level_partitions += len(children)
+            metrics.counter("discall.second_level_mined").add(len(children))
         sub_members = _prepare_members(key, group, children, frequent_items, reduce)
         min_length = level + 2
         eligible = [
@@ -163,6 +175,7 @@ def _mine_partition(
             )
     else:
         # Step 4: DISC takes over for every deeper length.
+        rounds = metrics.counter("disc.rounds")
         frequent_k = children
         k = level + 2
         while frequent_k:
@@ -170,11 +183,11 @@ def _mine_partition(
             eligible = [(cid, seq) for cid, seq in group if seq_length(seq) >= k]
             if len(eligible) < delta:
                 break
-            out.stats.disc_rounds += 1
-            result = discover_frequent_k(
-                eligible, flist, delta, bilevel=bilevel, backend=backend
-            )
-            out.stats.disc_comparisons += result.comparisons
+            rounds.add(1)
+            with obs.tracer.span("discover_k", k=k, eligible=len(eligible)):
+                result = discover_frequent_k(
+                    eligible, flist, delta, bilevel=bilevel, backend=backend, k=k
+                )
             for pattern, count in result.frequent_k.items():
                 out.patterns[pattern] = count
             if bilevel:
@@ -204,4 +217,5 @@ def _prepare_members(
         shorter = reduce_sequence(seq, lam, frequent_items, pairs)
         if shorter is not None:
             reduced.append((cid, shorter))
+    active().metrics.counter("discall.reduced_members").add(len(reduced))
     return reduced

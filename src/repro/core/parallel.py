@@ -24,6 +24,7 @@ from repro.core.counting import count_frequent_items
 from repro.core.discall import DiscAllOutput, _process_first_level
 from repro.core.partition import Member
 from repro.core.sequence import RawSequence
+from repro.obs import active
 
 
 def _mine_one_partition(
@@ -55,9 +56,11 @@ def disc_all_parallel(
     """
     if delta < 1:
         raise ValueError(f"delta must be >= 1, got {delta}")
+    obs = active()
     members = list(members)
     out = DiscAllOutput()
     frequent_items = count_frequent_items(members, delta)
+    obs.metrics.counter("counting.frequent", k=1).add(len(frequent_items))
     for item, count in frequent_items.items():
         out.patterns[((item,),)] = count
     item_set = frozenset(frequent_items)
@@ -65,6 +68,7 @@ def disc_all_parallel(
     # Direct membership: the partition of lam holds every sequence
     # containing lam (what the reassignment chains produce lazily).
     jobs = []
+    job_sizes = obs.metrics.histogram("parallel.job_size")
     # repro: allow[DISC002] — scalar int items, not sequences
     for lam in sorted(frequent_items):
         group = [
@@ -72,16 +76,21 @@ def disc_all_parallel(
             for cid, seq in members
             if any(lam in txn for txn in seq)
         ]
+        job_sizes.record(len(group))
         jobs.append((lam, group, delta, item_set, bilevel, reduce, backend))
+    # Workers run in separate processes, so only coordinator-side counters
+    # survive; per-partition evidence stays with the workers by design.
+    obs.metrics.counter("parallel.jobs").add(len(jobs))
     out.stats.first_level_partitions = len(jobs)
 
     if processes == 1:
-        partials = map(_mine_one_partition, jobs)
-        for patterns in partials:
-            out.patterns.update(patterns)
+        with obs.tracer.span("parallel.map", jobs=len(jobs), processes=1):
+            for patterns in map(_mine_one_partition, jobs):
+                out.patterns.update(patterns)
         return out
 
-    with ProcessPoolExecutor(max_workers=processes) as pool:
-        for patterns in pool.map(_mine_one_partition, jobs):
-            out.patterns.update(patterns)
+    with obs.tracer.span("parallel.map", jobs=len(jobs), processes=processes):
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            for patterns in pool.map(_mine_one_partition, jobs):
+                out.patterns.update(patterns)
     return out

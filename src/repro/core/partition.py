@@ -23,6 +23,7 @@ from typing import Iterable, Iterator
 
 from repro.core.kminimum import ExtensionPair
 from repro.core.sequence import RawSequence, seq_length
+from repro.obs import active
 
 #: A partition member: (customer id, customer sequence).
 Member = tuple[int, RawSequence]
@@ -162,6 +163,9 @@ def iterate_first_level(
     members are reassigned by their next minimum 1-sequence (Step 2.2),
     dropping sequences with no further items.
     """
+    metrics = active().metrics
+    visited = metrics.counter("partition.first_level")
+    sizes = metrics.histogram("partition.first_level_size")
     queue = PartitionQueue()
     partitions = first_level_partitions(members)
     for lam in sorted(partitions, key=int):
@@ -169,6 +173,8 @@ def iterate_first_level(
         for member in group:
             queue.add(lam, member)
     for lam, group in queue:
+        visited.add(1)
+        sizes.record(len(group))
         yield lam, group
         for cid, seq in group:
             nxt = next_minimum_item(seq, lam)
@@ -197,6 +203,9 @@ def iterate_extension_partitions(
     """
     from repro.core.kminimum import build_extension, extension_pairs
 
+    metrics = active().metrics
+    visited = metrics.counter("partition.extension")
+    sizes = metrics.histogram("partition.extension_size")
     queue = PartitionQueue()
     #: member -> (sorted extension pairs, index of the current one)
     cursors: list[list] = []
@@ -213,6 +222,8 @@ def iterate_extension_partitions(
         cursors.append(cursor)
         queue.add(ordered[0], cursor)
     for pair, group in queue:
+        visited.add(1)
+        sizes.record(len(group))
         yield build_extension(prefix, pair), [(c[0], c[1]) for c in group]
         for cursor in group:
             cursor[3] += 1

@@ -18,6 +18,7 @@ from repro.core.avl import LocativeAVLTree
 from repro.core.keytable import SortedKeyTable
 from repro.core.kminimum import SortedFrequentList, apriori_kms_entry
 from repro.core.sequence import FlatSequence, RawSequence, unflatten
+from repro.obs import active
 
 #: Available k-sorted-database index backends: the array-backed table is
 #: the default (fastest in CPython); the locative AVL tree matches the
@@ -53,13 +54,19 @@ class KSortedDatabase:
     ):
         self._tree = BACKENDS[backend]()
         self.flist = flist
+        metrics = active().metrics
+        kms_calls = metrics.counter("sorted_db.kms_calls")
+        kms_dropped = metrics.counter("sorted_db.kms_dropped")
         for cid, seq in members:
             cache: dict = {}
+            kms_calls.add(1)
             found = apriori_kms_entry(seq, flist, cache=cache)
             if found is None:
+                kms_dropped.add(1)
                 continue  # no k-subsequence with a frequent prefix: drop (Fig 4)
             key, pointer = found
             self.add(SortedEntry(cid, seq, key, pointer, cache))
+        metrics.histogram("sorted_db.initial_size").record(len(self._tree))
 
     def __len__(self) -> int:
         return len(self._tree)

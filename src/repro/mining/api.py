@@ -14,6 +14,7 @@ from repro.db.database import SequenceDatabase
 from repro.exceptions import InvalidParameterError
 from repro.mining.registry import get_algorithm
 from repro.mining.result import MiningResult
+from repro.obs import NOOP_OBSERVATION, RunReport, activated, observation
 
 
 def mine(
@@ -24,6 +25,7 @@ def mine(
     maximal: bool = False,
     min_length: int | None = None,
     max_length: int | None = None,
+    observe: bool = False,
     **options,
 ) -> MiningResult:
     """Mine every frequent sequence of *db*.
@@ -40,6 +42,15 @@ def mine(
     The filters compose: closed/maximal are computed over the full
     result first, then the length bounds apply.
 
+    ``observe=True`` runs the miner under a live :mod:`repro.obs`
+    observation and attaches its :class:`~repro.obs.RunReport` (span tree
+    plus metric snapshot) to the result.  The default keeps the no-op
+    instrumentation, so the hot path pays nothing.
+
+    ``elapsed_seconds`` covers the full run — mining *and* the
+    closed/maximal/length post-filters (the filters dominate on dense
+    results, so excluding them would misstate the cost).
+
     A sequence is frequent when its support count is >= the resolved
     threshold (see DESIGN.md on the >= convention).
     """
@@ -47,46 +58,62 @@ def mine(
         raise InvalidParameterError("choose at most one of closed/maximal")
     delta = db.delta_for(min_support)
     miner = get_algorithm(algorithm)
+    obs = observation() if observe else NOOP_OBSERVATION
     started = time.perf_counter()
-    patterns = miner(db.members(), delta, **options)
-    elapsed = time.perf_counter() - started
-    result = MiningResult(
-        patterns=patterns,
-        delta=delta,
-        algorithm=algorithm,
-        database_size=len(db),
-        elapsed_seconds=elapsed,
-        _vocabulary=db.vocabulary,
-    )
-    if closed:
-        result = _replace_patterns(result, result.closed_patterns())
-    elif maximal:
-        result = _replace_patterns(result, result.maximal_patterns())
-    if min_length is not None or max_length is not None:
-        lo = min_length if min_length is not None else 1
-        hi = max_length if max_length is not None else float("inf")
-        if lo < 1 or hi < lo:
-            raise InvalidParameterError(
-                f"invalid length bounds [{min_length}, {max_length}]"
-            )
-        result = _replace_patterns(
-            result,
-            {
-                raw: count
-                for raw, count in result.patterns.items()
-                if lo <= seq_length(raw) <= hi
-            },
+    with activated(obs), obs.tracer.span("mine", algorithm=algorithm, delta=delta):
+        with obs.tracer.span("algorithm"):
+            patterns = miner(db.members(), delta, **options)
+        result = MiningResult(
+            patterns=patterns,
+            delta=delta,
+            algorithm=algorithm,
+            database_size=len(db),
+            _vocabulary=db.vocabulary,
         )
-    return result
+        with obs.tracer.span("post_filter", closed=closed, maximal=maximal):
+            if closed:
+                result = _replace_patterns(result, result.closed_patterns())
+            elif maximal:
+                result = _replace_patterns(result, result.maximal_patterns())
+            if min_length is not None or max_length is not None:
+                lo = min_length if min_length is not None else 1
+                hi = max_length if max_length is not None else float("inf")
+                if lo < 1 or hi < lo:
+                    raise InvalidParameterError(
+                        f"invalid length bounds [{min_length}, {max_length}]"
+                    )
+                result = _replace_patterns(
+                    result,
+                    {
+                        raw: count
+                        for raw, count in result.patterns.items()
+                        if lo <= seq_length(raw) <= hi
+                    },
+                )
+    elapsed = time.perf_counter() - started
+    return _replace_patterns(
+        result,
+        result.patterns,
+        elapsed_seconds=elapsed,
+        report=obs.report() if observe else None,
+    )
 
 
-def _replace_patterns(result: MiningResult, patterns: dict) -> MiningResult:
+def _replace_patterns(
+    result: MiningResult,
+    patterns: dict,
+    elapsed_seconds: float | None = None,
+    report: "RunReport | None" = None,
+) -> MiningResult:
     """A copy of *result* with a different pattern map."""
     return MiningResult(
         patterns=patterns,
         delta=result.delta,
         algorithm=result.algorithm,
         database_size=result.database_size,
-        elapsed_seconds=result.elapsed_seconds,
+        elapsed_seconds=(
+            result.elapsed_seconds if elapsed_seconds is None else elapsed_seconds
+        ),
+        report=result.report if report is None else report,
         _vocabulary=result._vocabulary,
     )

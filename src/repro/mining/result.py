@@ -27,6 +27,7 @@ from repro.core.sequence import (
 
 if TYPE_CHECKING:
     from repro.db.vocabulary import Vocabulary
+    from repro.obs import RunReport
 
 
 @dataclass(frozen=True)
@@ -38,6 +39,8 @@ class MiningResult:
     algorithm: str
     database_size: int
     elapsed_seconds: float = 0.0
+    #: instrumentation snapshot; populated by ``mine(observe=True)``
+    report: "RunReport | None" = field(default=None, repr=False, compare=False)
     _vocabulary: "Vocabulary | None" = field(default=None, repr=False, compare=False)
 
     # -- lookups -------------------------------------------------------------

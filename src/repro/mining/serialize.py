@@ -17,13 +17,24 @@ from repro.core.order import sort_key
 from repro.core.sequence import canonical
 from repro.exceptions import DataFormatError
 from repro.mining.result import MiningResult
+from repro.obs import RunReport
 
 _FORMAT = "repro.mining-result"
 _VERSION = 1
 
 
-def save_result(result: MiningResult, target: str | Path | TextIO) -> None:
-    """Write *result* as JSON."""
+def save_result(
+    result: MiningResult,
+    target: str | Path | TextIO,
+    include_report: bool = False,
+) -> None:
+    """Write *result* as JSON.
+
+    *include_report* embeds the run's instrumentation
+    :class:`~repro.obs.RunReport` (when the result carries one) so a
+    saved run keeps its metrics and span tree; it is off by default to
+    keep result files small and runs comparable byte-for-byte.
+    """
     payload = {
         "format": _FORMAT,
         "version": _VERSION,
@@ -38,6 +49,8 @@ def save_result(result: MiningResult, target: str | Path | TextIO) -> None:
             )
         ],
     }
+    if include_report and result.report is not None:
+        payload["report"] = result.report.to_dict()
     if isinstance(target, (str, Path)):
         with open(target, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=1)
@@ -62,12 +75,16 @@ def load_result(source: str | Path | TextIO) -> MiningResult:
         patterns = {
             canonical(entry[0]): int(entry[1]) for entry in payload["patterns"]
         }
+        report = None
+        if "report" in payload:
+            report = RunReport.from_dict(payload["report"])
         return MiningResult(
             patterns=patterns,
             delta=int(payload["delta"]),
             algorithm=str(payload["algorithm"]),
             database_size=int(payload["database_size"]),
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            report=report,
         )
     except (KeyError, TypeError, IndexError) as exc:
         raise DataFormatError(f"malformed mining-result document: {exc}") from exc

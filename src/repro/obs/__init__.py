@@ -1,0 +1,64 @@
+"""Observability layer: metrics, tracing, run reports (system S25).
+
+The DISC strategy's value proposition is *work avoided* — sequences
+proven frequent (Lemma 2.1) or pruned in whole ``[alpha_1, alpha_delta)``
+intervals (Lemma 2.2) without support counting.  This package makes that
+evidence first-class: a metrics registry and a span tracer that the
+mining stack reports into, frozen per run into a :class:`RunReport`.
+
+Design rule: the default observation is a shared no-op, so instrumented
+hot paths fetch metric handles once, call them unconditionally, and pay
+nothing beyond a method call when observation is off.  Enable collection
+with ``mine(..., observe=True)``, the CLI flags ``repro mine --trace /
+--metrics-json``, or explicitly::
+
+    from repro import obs
+
+    with obs.activated(obs.observation()) as ob:
+        disc_all(members, delta)
+    print(ob.report().render())
+"""
+
+from repro.obs.context import (
+    NOOP_OBSERVATION,
+    Observation,
+    activated,
+    active,
+    observation,
+    stats_observation,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    FilteredMetricsRegistry,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopMetricsRegistry,
+    render_name,
+)
+from repro.obs.report import REPORT_FORMAT, REPORT_VERSION, RunReport
+from repro.obs.tracing import NoopTracer, SpanRecord, Tracer
+
+__all__ = [
+    "NOOP_OBSERVATION",
+    "Observation",
+    "activated",
+    "active",
+    "observation",
+    "stats_observation",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "FilteredMetricsRegistry",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopMetricsRegistry",
+    "render_name",
+    "REPORT_FORMAT",
+    "REPORT_VERSION",
+    "RunReport",
+    "NoopTracer",
+    "SpanRecord",
+    "Tracer",
+]

@@ -1,0 +1,89 @@
+"""Observation bundles and the active-observer context (system S25).
+
+An :class:`Observation` pairs a metrics registry with a tracer.  The
+module-level context variable holds the *active* observation that every
+instrumented call site reports into; the default is a disabled, no-op
+observation, so code may call :func:`active` and use the result
+unconditionally — the uninstrumented path stays allocation-free.
+
+``with activated(observation()): ...`` enables collection for a block
+(context-variable scoped, so threads and nested activations behave);
+worker processes always start at the no-op default.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterable, Iterator
+
+from repro.obs.metrics import (
+    FilteredMetricsRegistry,
+    MetricsRegistry,
+    NoopMetricsRegistry,
+)
+from repro.obs.report import RunReport
+from repro.obs.tracing import NoopTracer, Tracer
+
+
+class Observation:
+    """A metrics registry + tracer pair collecting one run's evidence."""
+
+    __slots__ = ("metrics", "tracer", "enabled")
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        tracer: Tracer,
+        enabled: bool = True,
+    ) -> None:
+        self.metrics = metrics
+        self.tracer = tracer
+        self.enabled = enabled
+
+    def report(self) -> RunReport:
+        """Freeze the collected evidence into a :class:`RunReport`."""
+        return RunReport(self.metrics.snapshot(), list(self.tracer.roots))
+
+
+#: Shared disabled observation: every metric/span call is a cheap no-op.
+NOOP_OBSERVATION = Observation(NoopMetricsRegistry(), NoopTracer(), enabled=False)
+
+_ACTIVE: ContextVar[Observation] = ContextVar(
+    "repro_active_observation", default=NOOP_OBSERVATION
+)
+
+
+def observation(trace: bool = True) -> Observation:
+    """A fresh enabled observation (metrics-only when ``trace=False``)."""
+    return Observation(
+        MetricsRegistry(), Tracer() if trace else NoopTracer(), enabled=True
+    )
+
+
+def stats_observation(counter_names: Iterable[str]) -> Observation:
+    """A metrics-only observation materialising just *counter_names*.
+
+    The cheap self-activation miners use to keep their returned statistics
+    exact when nobody else is observing: the named counters are real,
+    everything else stays the shared no-op singletons.
+    """
+    return Observation(
+        FilteredMetricsRegistry(counter_names), NoopTracer(), enabled=True
+    )
+
+
+def active() -> Observation:
+    """The observation instrumented code is currently reporting into."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activated(obs: Observation | None = None) -> Iterator[Observation]:
+    """Make *obs* (or a fresh observation) active for the block."""
+    target = obs if obs is not None else observation()
+    token = _ACTIVE.set(target)
+    try:
+        yield target
+    finally:
+        _ACTIVE.reset(token)

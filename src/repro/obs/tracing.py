@@ -1,0 +1,150 @@
+"""Span-based phase tracer (system S25).
+
+A :class:`Tracer` records *where wall-clock time goes*: every
+``with tracer.span("discover_k", k=4):`` block produces a
+:class:`SpanRecord` nested under the enclosing span, building the run's
+phase tree (mine -> algorithm -> partition -> discover_k ...).  Spans
+survive exceptions — the record is closed and stamped with the exception
+type before the exception propagates.
+
+:class:`NoopTracer` returns one shared, stateless context manager, so a
+disabled trace point costs a method call and allocates nothing beyond
+the caller's keyword dict.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import AbstractContextManager, contextmanager
+from typing import Any, Callable, Iterator
+
+
+class SpanRecord:
+    """One timed phase, with attributes and nested children."""
+
+    __slots__ = ("name", "attrs", "started", "ended", "error", "children")
+
+    def __init__(
+        self,
+        name: str,
+        attrs: dict[str, object] | None = None,
+        started: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.attrs: dict[str, object] = attrs if attrs is not None else {}
+        self.started = started
+        self.ended: float | None = None
+        self.error: str | None = None
+        self.children: list[SpanRecord] = []
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        if self.ended is None:
+            return 0.0
+        return self.ended - self.started
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-data form (JSON-serialisable)."""
+        payload: dict[str, object] = {
+            "name": self.name,
+            "duration_seconds": self.duration,
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SpanRecord":
+        """Rebuild a record written by :meth:`to_dict`."""
+        record = cls(str(payload["name"]), dict(payload.get("attrs", {})))
+        record.ended = float(payload.get("duration_seconds", 0.0))
+        record.error = payload.get("error")
+        record.children = [
+            cls.from_dict(child) for child in payload.get("children", ())
+        ]
+        return record
+
+    def render(self, indent: int = 0) -> str:
+        """This span and its children as indented text lines."""
+        attrs = " ".join(f"{key}={value}" for key, value in self.attrs.items())
+        suffix = f"  [{attrs}]" if attrs else ""
+        if self.error is not None:
+            suffix += f"  !{self.error}"
+        lines = [f"{'  ' * indent}{self.name}  {self.duration * 1000:.2f}ms{suffix}"]
+        lines.extend(child.render(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+
+class Tracer:
+    """Builds the span tree of one observed run."""
+
+    __slots__ = ("roots", "_stack", "_clock")
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.roots: list[SpanRecord] = []
+        self._stack: list[SpanRecord] = []
+        self._clock = clock
+
+    def span(self, name: str, **attrs: object) -> AbstractContextManager[SpanRecord]:
+        """Open a child span of the innermost open span."""
+        return self._span(name, attrs)
+
+    @contextmanager
+    def _span(self, name: str, attrs: dict[str, object]) -> Iterator[SpanRecord]:
+        record = SpanRecord(name, attrs, self._clock())
+        if self._stack:
+            self._stack[-1].children.append(record)
+        else:
+            self.roots.append(record)
+        self._stack.append(record)
+        try:
+            yield record
+        except BaseException as exc:
+            record.error = type(exc).__name__
+            raise
+        finally:
+            record.ended = self._clock()
+            self._stack.pop()
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    def render(self) -> str:
+        """The full span forest as indented text."""
+        return "\n".join(root.render() for root in self.roots)
+
+
+class _NoopSpan(AbstractContextManager[SpanRecord]):
+    """Shared reusable span context: enter/exit do nothing.
+
+    Stateless, so one instance serves every disabled trace point — even
+    re-entrantly.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> SpanRecord:
+        return _NOOP_RECORD
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP_RECORD = SpanRecord("noop")
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer(Tracer):
+    """Tracer that records nothing and allocates nothing per span."""
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs: object) -> AbstractContextManager[SpanRecord]:
+        return _NOOP_SPAN

@@ -85,6 +85,44 @@ class TestMine:
         assert "error" in capsys.readouterr().err
 
 
+class TestMineObservability:
+    def test_trace_prints_span_tree(self, spmf_file, capsys):
+        assert main(["mine", spmf_file, "--min-support", "2", "--top", "1",
+                     "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "phases:" in out
+        assert "mine" in out
+        assert "metrics:" in out
+
+    def test_metrics_json_writes_valid_report(self, tmp_path, spmf_file, capsys):
+        from repro.obs import RunReport
+
+        target = tmp_path / "report.json"
+        assert main(["mine", spmf_file, "--min-support", "2", "--top", "1",
+                     "--metrics-json", str(target)]) == 0
+        assert "wrote run report" in capsys.readouterr().out
+        report = RunReport.from_json(target.read_text(encoding="utf-8"))
+        assert report.spans[0].name == "mine"
+        assert "post_filter" in report.phase_totals()
+
+    def test_no_flags_no_report_output(self, spmf_file, capsys):
+        assert main(["mine", spmf_file, "--min-support", "2", "--top", "1"]) == 0
+        assert "phases:" not in capsys.readouterr().out
+
+    def test_bench_writes_baseline_document(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "bench.json"
+        assert main(["bench", "--scale", "smoke", "-o", str(target)]) == 0
+        assert "baseline runs" in capsys.readouterr().out
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["format"] == "repro.bench-baseline"
+        assert payload["runs"]
+        run = payload["runs"][0]
+        assert {"algorithm", "minsup", "elapsed_seconds",
+                "phase_seconds", "counters"} <= set(run)
+
+
 class TestOtherCommands:
     def test_algorithms_listing(self, capsys):
         assert main(["algorithms"]) == 0

@@ -63,6 +63,17 @@ class TestRuleFixtures:
         found = findings_of(FIXTURES / "mining" / "bad_except.py")
         assert [rule for rule, _ in found] == ["DISC005", "DISC005"]
 
+    def test_disc006_stdout_telemetry(self):
+        found = findings_of(FIXTURES / "core" / "bad_print.py")
+        # the logging imports and both print() calls; the obs-API call
+        # in between stays clean
+        assert found == [
+            ("DISC006", 8),
+            ("DISC006", 9),
+            ("DISC006", 13),
+            ("DISC006", 17),
+        ]
+
     def test_lint001_unknown_suppression_id(self):
         found = findings_of(FIXTURES / "core" / "bad_allow.py")
         # the typo'd id suppresses nothing: the sort fires AND is reported
@@ -161,7 +172,7 @@ class TestEngineEdges:
     def test_catalog_has_documented_rules(self):
         catalog = rule_catalog()
         for rule_id in ("DISC001", "DISC002", "DISC003", "DISC004", "DISC005",
-                        "LINT001"):
+                        "DISC006", "LINT001"):
             assert rule_id in catalog
             assert catalog[rule_id].title
             assert catalog[rule_id].rationale
@@ -210,7 +221,7 @@ class TestCli:
     def test_every_violating_fixture_fails_the_cli(self):
         for name in ("core/disc.py", "core/bad_sort.py", "core/bad_mutation.py",
                      "core/bad_dataclass.py", "mining/bad_except.py",
-                     "core/bad_allow.py"):
+                     "core/bad_allow.py", "core/bad_print.py"):
             assert main(["lint", str(FIXTURES / name)]) == 1, name
 
     def test_json_format(self, capsys):

@@ -1,0 +1,397 @@
+"""Tests for the observability layer (repro.obs)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.mining.api import mine
+from repro.mining.serialize import load_result, save_result
+from repro.obs import (
+    NOOP_OBSERVATION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NoopMetricsRegistry,
+    NoopTracer,
+    RunReport,
+    SpanRecord,
+    Tracer,
+    activated,
+    active,
+    observation,
+    render_name,
+)
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("disc.comparisons")
+        counter.add()
+        counter.add(4)
+        assert registry.counter("disc.comparisons") is counter
+        assert counter.value == 5
+
+    def test_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("counting.frequent", k=1).add(3)
+        registry.counter("counting.frequent", k=2).add(7)
+        assert registry.counter("counting.frequent", k=1).value == 3
+        assert registry.counter("counting.frequent", k=2).value == 7
+        assert registry.counter_total("counting.frequent") == 10
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", k=1, phase="a")
+        b = registry.counter("x", phase="a", k=1)
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_gauge_tracks_maximum(self):
+        gauge = MetricsRegistry().gauge("tree.size")
+        gauge.set(5)
+        gauge.set(11)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.maximum == 11
+
+    def test_len_and_iter(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.counter("a", k=1)
+        registry.gauge("b")
+        assert len(registry) == 3
+        assert {metric.name for metric in registry} == {"a", "b"}
+
+    def test_snapshot_keys_are_rendered_names(self):
+        registry = MetricsRegistry()
+        registry.counter("disc.comparisons", k=4).add(9)
+        snap = registry.snapshot()
+        assert snap["disc.comparisons{k=4}"]["value"] == 9
+        assert snap["disc.comparisons{k=4}"]["type"] == "counter"
+
+    def test_render_name(self):
+        assert render_name("plain", ()) == "plain"
+        assert render_name("x", (("a", 1), ("k", 4))) == "x{a=1,k=4}"
+
+
+class TestHistogram:
+    def test_boundary_value_lands_in_its_bucket(self):
+        hist = Histogram("sizes", bounds=(1, 5, 10))
+        hist.record(1)
+        hist.record(5)
+        hist.record(6)
+        hist.record(11)
+        assert hist.buckets() == {"<=1": 1, "<=5": 1, "<=10": 1, "+Inf": 1}
+
+    def test_summary_statistics(self):
+        hist = Histogram("sizes", bounds=(10,))
+        for value in (3, 7, 12):
+            hist.record(value)
+        assert hist.count == 3
+        assert hist.total == 22
+        assert hist.minimum == 3
+        assert hist.maximum == 12
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(5, 1))
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(1, 1))
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=())
+
+
+class TestTracer:
+    def test_span_nesting(self):
+        tracer = Tracer()
+        with tracer.span("mine", algorithm="disc-all"):
+            with tracer.span("partition", lam=3):
+                pass
+            with tracer.span("partition", lam=5):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "mine"
+        assert root.attrs == {"algorithm": "disc-all"}
+        assert [child.name for child in root.children] == ["partition", "partition"]
+        assert tracer.depth == 0
+
+    def test_durations_are_monotone(self):
+        ticks = iter(range(100))
+        tracer = Tracer(clock=lambda: next(ticks))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.duration >= inner.duration > 0
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("mine"):
+                with tracer.span("algorithm"):
+                    raise ValueError("boom")
+        root = tracer.roots[0]
+        assert root.error == "ValueError"
+        assert root.children[0].error == "ValueError"
+        assert root.ended is not None
+        assert root.children[0].ended is not None
+        assert tracer.depth == 0
+
+    def test_render_indents_children(self):
+        tracer = Tracer()
+        with tracer.span("mine"):
+            with tracer.span("algorithm"):
+                pass
+        lines = tracer.render().splitlines()
+        assert lines[0].startswith("mine")
+        assert lines[1].startswith("  algorithm")
+
+    def test_span_record_round_trip(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("mine", delta=3):
+                with tracer.span("algorithm"):
+                    raise RuntimeError
+        rebuilt = SpanRecord.from_dict(tracer.roots[0].to_dict())
+        assert rebuilt.name == "mine"
+        assert rebuilt.attrs == {"delta": 3}
+        assert rebuilt.error == "RuntimeError"
+        assert [child.name for child in rebuilt.children] == ["algorithm"]
+
+
+class TestNoopPath:
+    def test_noop_registry_hands_out_shared_singletons(self):
+        registry = NoopMetricsRegistry()
+        a = registry.counter("disc.comparisons", k=4)
+        b = registry.counter("anything.else")
+        assert a is b
+        a.add(1_000)
+        assert a.value == 0
+        registry.gauge("g").set(9)
+        assert registry.gauge("g").value == 0.0
+        registry.histogram("h").record(5)
+        assert registry.histogram("h").count == 0
+
+    def test_noop_tracer_shares_one_span(self):
+        tracer = NoopTracer()
+        a = tracer.span("mine")
+        b = tracer.span("partition", k=4)
+        assert a is b
+        with a as record:
+            with b as inner:
+                assert inner is record
+        assert tracer.roots == []
+        assert tracer.depth == 0
+
+    def test_default_observation_is_noop(self):
+        assert active() is NOOP_OBSERVATION
+        assert not NOOP_OBSERVATION.enabled
+
+    def test_activated_sets_and_resets(self):
+        obs = observation()
+        assert obs.enabled
+        with activated(obs) as current:
+            assert current is obs
+            assert active() is obs
+        assert active() is NOOP_OBSERVATION
+
+    def test_activated_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with activated(observation()):
+                raise ValueError
+        assert active() is NOOP_OBSERVATION
+
+    def test_metrics_only_observation(self):
+        obs = observation(trace=False)
+        assert isinstance(obs.tracer, NoopTracer)
+        assert not isinstance(obs.metrics, NoopMetricsRegistry)
+
+    def test_filtered_registry_materialises_only_named_counters(self):
+        from repro.obs import FilteredMetricsRegistry, stats_observation
+
+        registry = FilteredMetricsRegistry({"disc.comparisons"})
+        real = registry.counter("disc.comparisons")
+        real.add(3)
+        assert registry.counter_total("disc.comparisons") == 3
+        noop = registry.counter("disc.lemma1_frequent", k=4)
+        noop.add(9)
+        assert registry.counter_total("disc.lemma1_frequent") == 0
+        registry.histogram("partition.first_level_size").record(5)
+        registry.gauge("tree.size").set(2)
+        assert len(registry) == 1  # only the whitelisted counter exists
+
+        obs = stats_observation({"disc.comparisons"})
+        assert obs.enabled
+        assert isinstance(obs.metrics, FilteredMetricsRegistry)
+        assert isinstance(obs.tracer, NoopTracer)
+
+
+class TestRunReport:
+    def _report(self) -> RunReport:
+        obs = observation()
+        with activated(obs):
+            metrics = active().metrics
+            metrics.counter("disc.comparisons", k=4).add(31)
+            metrics.counter("disc.comparisons", k=5).add(11)
+            metrics.gauge("tree.size").set(7)
+            metrics.histogram("partition.first_level_size").record(12)
+            with obs.tracer.span("mine"):
+                with obs.tracer.span("algorithm"):
+                    pass
+                with obs.tracer.span("post_filter"):
+                    pass
+        return obs.report()
+
+    def test_counter_queries(self):
+        report = self._report()
+        assert report.counter_value("disc.comparisons", k=4) == 31
+        assert report.counter_value("disc.comparisons", k=9) == 0
+        assert report.counter_value("absent") == 0
+        assert report.counter_total("disc.comparisons") == 42
+
+    def test_phase_totals_cover_the_tree(self):
+        report = self._report()
+        totals = report.phase_totals()
+        assert set(totals) == {"mine", "algorithm", "post_filter"}
+        assert totals["mine"] >= totals["algorithm"] + totals["post_filter"]
+
+    def test_json_round_trip(self):
+        report = self._report()
+        rebuilt = RunReport.from_json(report.to_json())
+        assert rebuilt.metrics == report.metrics
+        assert rebuilt.counter_total("disc.comparisons") == 42
+        assert [span.name for span in rebuilt.spans] == ["mine"]
+        assert rebuilt.phase_totals().keys() == report.phase_totals().keys()
+
+    def test_render_mentions_phases_and_metrics(self):
+        text = self._report().render()
+        assert "phases:" in text
+        assert "mine" in text
+        assert "disc.comparisons{k=4} = 31" in text
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(DataFormatError):
+            RunReport.from_dict({"format": "other", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(DataFormatError):
+            RunReport.from_dict({"format": "repro.run-report", "version": 99})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(DataFormatError):
+            RunReport.from_dict({"format": "repro.run-report", "version": 1})
+        with pytest.raises(DataFormatError):
+            RunReport.from_json("not json {")
+
+
+@pytest.fixture(scope="module")
+def quest_db():
+    from repro.datagen import QuestParams, generate
+
+    return generate(
+        QuestParams(ncust=150, slen=6, tlen=3, nitems=50, patlen=5, npats=40, seed=7)
+    )
+
+
+class TestMineIntegration:
+    """Counter totals reconcile with the mined result (the paper's claims)."""
+
+    def test_lemma_counters_reconcile_with_pattern_counts(self, quest_db):
+        result = mine(quest_db, 0.05, algorithm="disc-all-plain", observe=True)
+        report = result.report
+        assert report is not None
+        for k in range(1, result.max_length() + 1):
+            actual = len(result.of_length(k))
+            if k <= 3:
+                # lengths 1-3 are counted by the partition/counting stages
+                assert report.counter_value("counting.frequent", k=k) == actual
+            else:
+                # every frequent k-sequence (k >= 4) is a Lemma 2.1 discovery
+                assert report.counter_value("disc.lemma1_frequent", k=k) == actual
+
+    def test_comparisons_split_by_outcome(self, quest_db):
+        report = mine(quest_db, 0.05, algorithm="disc-all-plain", observe=True).report
+        assert report is not None
+        comparisons = report.counter_total("disc.comparisons")
+        lemma1 = report.counter_total("disc.lemma1_frequent")
+        lemma2 = report.counter_total("disc.lemma2_prunes")
+        assert comparisons == lemma1 + lemma2
+        assert comparisons > 0
+
+    def test_bilevel_lemma1_covers_long_patterns(self, quest_db):
+        result = mine(quest_db, 0.05, observe=True)  # disc-all (bi-level)
+        report = result.report
+        assert report is not None
+        long_patterns = sum(
+            count for length, count in result.length_histogram().items()
+            if length >= 4
+        )
+        assert report.counter_total("disc.lemma1_frequent") == long_patterns
+
+    def test_span_tree_sums_to_elapsed(self, quest_db):
+        result = mine(quest_db, 0.05, observe=True)
+        report = result.report
+        assert report is not None
+        assert [span.name for span in report.spans] == ["mine"]
+        root = report.spans[0]
+        assert {child.name for child in root.children} >= {"algorithm", "post_filter"}
+        # the root span and elapsed_seconds time the same scope
+        assert root.duration == pytest.approx(result.elapsed_seconds, rel=0.25)
+        assert root.duration <= result.elapsed_seconds
+
+    def test_post_filters_are_timed(self, table1_db):
+        result = mine(table1_db, 2, closed=True, observe=True)
+        report = result.report
+        assert report is not None
+        totals = report.phase_totals()
+        assert "post_filter" in totals
+
+    def test_no_report_without_observe(self, table1_db):
+        result = mine(table1_db, 2)
+        assert result.report is None
+        assert active() is NOOP_OBSERVATION
+
+    def test_stats_survive_without_observer(self, table6_members):
+        # disc_all derives DiscAllStats from a private registry when no
+        # ambient observation is active — the read-out must stay exact
+        from repro.core.discall import disc_all
+
+        out = disc_all(table6_members, 3)
+        assert out.stats.first_level_partitions > 0
+        assert out.stats.disc_comparisons > 0
+
+
+class TestSerializeReport:
+    def test_report_round_trips_when_included(self, table1_db):
+        result = mine(table1_db, 2, observe=True)
+        buffer = io.StringIO()
+        save_result(result, buffer, include_report=True)
+        buffer.seek(0)
+        loaded = load_result(buffer)
+        assert loaded.report is not None
+        assert loaded.report.metrics == result.report.metrics
+        assert loaded.same_patterns(result)
+
+    def test_report_excluded_by_default(self, table1_db):
+        result = mine(table1_db, 2, observe=True)
+        buffer = io.StringIO()
+        save_result(result, buffer)
+        payload = json.loads(buffer.getvalue())
+        assert "report" not in payload
+        buffer.seek(0)
+        assert load_result(buffer).report is None
