@@ -5,9 +5,10 @@ machine-checked static property:
 
 * **DISC001** — the DISC discovery loop must stay free of support
   counting (Lemmas 2.1/2.2 are the whole point of the paper);
-* **DISC002** — sorts over mining data must declare their key, because
-  the default tuple order on raw sequences is *not* the comparative
-  order of Definition 2.2;
+* **DISC002** — sorts over mining data (in core/, mining/ and the
+  service layer) must declare their key, because the default tuple
+  order on raw sequences is *not* the comparative order of
+  Definition 2.2;
 * **DISC003** — canonical ``RawSequence``/``FlatSequence`` values are
   immutable after construction;
 * **DISC004** — ``core/`` dataclasses declare ``slots=True`` (the hot
@@ -94,16 +95,17 @@ class SortsMustDeclareKey(Rule):
     """DISC002: sorts in mining code must declare an explicit key."""
 
     rule_id = "DISC002"
-    title = "sorts in core/ and mining/ must declare an explicit key"
+    title = "sorts in core/, mining/ and service/ must declare an explicit key"
     rationale = (
         "The comparative order of Definition 2.2 is the lexicographic order "
         "on *flattened* (item, transaction_number) pairs — which differs "
         "from the default tuple order on nested raw sequences.  Every sort "
         "over sequences must therefore key on repro.core.order.sort_key (or "
         "an explicitly chosen key); sorts over scalars document themselves "
-        "with a suppression comment."
+        "with a suppression comment.  The service layer handles the same "
+        "pattern maps (cache entries, job payloads), so it is in scope too."
     )
-    scopes = ("core/", "mining/")
+    scopes = ("core/", "mining/", "service/")
 
     def visit(self, node: ast.AST, ctx: LintContext) -> None:
         if not isinstance(node, ast.Call):
@@ -307,9 +309,11 @@ class NoSilentExceptions(Rule):
         "A swallowed exception in the mining path turns a correctness bug "
         "into silently missing patterns.  Handlers must name the exception "
         "type and do something observable (re-raise, record, or return a "
-        "sentinel)."
+        "sentinel).  In the service layer a swallowed exception is worse "
+        "still: a job that never reaches a terminal state hangs its client "
+        "forever, so service/ is in scope too."
     )
-    scopes = ("core/", "mining/")
+    scopes = ("core/", "mining/", "service/")
 
     def visit(self, node: ast.AST, ctx: LintContext) -> None:
         if not isinstance(node, ast.ExceptHandler):

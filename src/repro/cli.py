@@ -13,6 +13,7 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from pathlib import Path
 
@@ -22,15 +23,41 @@ from repro.core.sequence import format_seq, seq_length
 from repro.datagen import QuestParams, generate
 from repro.db import io as dbio
 from repro.db.database import SequenceDatabase
-from repro.exceptions import ReproError
+from repro.exceptions import InvalidParameterError, ReproError
 from repro.mining.api import mine
 from repro.mining.registry import available_algorithms
 
 
-def _read_db(path: str) -> SequenceDatabase:
+def _read_db(path: str, fmt: str | None = None) -> SequenceDatabase:
+    """Read a database file, ``-`` meaning stdin.
+
+    *fmt* (``spmf`` / ``paper``) overrides the filename-suffix dispatch;
+    it is required for stdin, where there is no suffix to dispatch on.
+    """
+    if path == "-":
+        if fmt is None:
+            raise InvalidParameterError(
+                "reading a database from stdin requires --format {spmf,paper}"
+            )
+        reader = dbio.read_paper if fmt == "paper" else dbio.read_spmf
+        return reader(sys.stdin)
+    if fmt is not None:
+        reader = dbio.read_paper if fmt == "paper" else dbio.read_spmf
+        return reader(path)
     if path.endswith(".txt") or path.endswith(".paper"):
         return dbio.read_paper(path)
     return dbio.read_spmf(path)
+
+
+def _add_database_arg(parser: argparse.ArgumentParser) -> None:
+    """The shared positional database argument plus its --format flag."""
+    parser.add_argument(
+        "database", help="input file (.spmf or .txt), or '-' for stdin"
+    )
+    parser.add_argument(
+        "--format", choices=("spmf", "paper"), default=None,
+        help="input format (required for stdin; otherwise by file suffix)",
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -62,7 +89,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
-    db = _read_db(args.database)
+    db = _read_db(args.database, args.format)
     min_support: float | int
     if args.min_support >= 1:
         min_support = int(args.min_support)
@@ -136,7 +163,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_topk(args: argparse.Namespace) -> int:
     from repro.ext.topk import mine_topk
 
-    db = _read_db(args.database)
+    db = _read_db(args.database, args.format)
     ranked = mine_topk(db.members(), args.k, min_length=args.min_length)
     for pattern, count in ranked:
         print(f"{count:6d}  {format_seq(pattern)}")
@@ -146,7 +173,7 @@ def _cmd_topk(args: argparse.Namespace) -> int:
 def _cmd_rules(args: argparse.Namespace) -> int:
     from repro.ext.rules import generate_rules
 
-    db = _read_db(args.database)
+    db = _read_db(args.database, args.format)
     min_support: float | int = (
         int(args.min_support) if args.min_support >= 1 else args.min_support
     )
@@ -160,7 +187,7 @@ def _cmd_rules(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    db = _read_db(args.database)
+    db = _read_db(args.database, args.format)
     min_support: float | int = (
         int(args.min_support) if args.min_support >= 1 else args.min_support
     )
@@ -183,7 +210,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.mining.verify import verify_patterns
 
-    db = _read_db(args.database)
+    db = _read_db(args.database, args.format)
     min_support: float | int = (
         int(args.min_support) if args.min_support >= 1 else args.min_support
     )
@@ -207,6 +234,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_from_args(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import MiningService
+    from repro.service.http import make_server
+
+    service = MiningService(
+        workers=args.workers,
+        queue_size=args.queue_size,
+        cache_entries=args.cache_entries,
+    )
+    for path in args.databases:
+        name = "stdin" if path == "-" else Path(path).stem
+        db = _read_db(path, args.format)
+        entry, replaced = service.register_database(name, db)
+        note = " (replaced)" if replaced else ""
+        print(
+            f"registered {name}: {len(db)} sequences, "
+            f"digest {entry.digest[:12]}{note}"
+        )
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"repro service listening on http://{host}:{port}")
+    print("endpoints: POST /mine  GET /jobs/<id>  GET /healthz  GET /metrics")
+
+    def _terminate(signum: int, frame: object) -> None:
+        # SIGTERM (docker stop, kill) drains exactly like Ctrl-C; also
+        # covers shells that spawn background children with SIGINT ignored
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down: draining in-flight jobs...")
+    finally:
+        server.server_close()
+        service.close(drain=True)
+    return 0
+
+
 def _cmd_algorithms(_args: argparse.Namespace) -> int:
     for name in available_algorithms():
         print(name)
@@ -214,7 +280,7 @@ def _cmd_algorithms(_args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    db = _read_db(args.database)
+    db = _read_db(args.database, args.format)
     stats = db.stats
     print(f"sequences:            {stats.num_sequences}")
     print(f"distinct items:       {stats.num_distinct_items}")
@@ -249,7 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen.set_defaults(func=_cmd_generate)
 
     mine_cmd = sub.add_parser("mine", help="mine frequent sequences")
-    mine_cmd.add_argument("database", help="input file (.spmf or .txt)")
+    _add_database_arg(mine_cmd)
     mine_cmd.add_argument(
         "--min-support", type=float, required=True,
         help="fraction (<1) of sequences or absolute count (>=1)",
@@ -286,13 +352,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(func=_cmd_bench)
 
     topk = sub.add_parser("topk", help="the k most frequent sequences")
-    topk.add_argument("database")
+    _add_database_arg(topk)
     topk.add_argument("-k", type=int, default=10)
     topk.add_argument("--min-length", type=int, default=1)
     topk.set_defaults(func=_cmd_topk)
 
     rules = sub.add_parser("rules", help="mine and derive sequential rules")
-    rules.add_argument("database")
+    _add_database_arg(rules)
     rules.add_argument("--min-support", type=float, required=True)
     rules.add_argument("--min-confidence", type=float, default=0.5)
     rules.add_argument("--algorithm", default="disc-all",
@@ -303,7 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser(
         "compare", help="check that several algorithms return identical patterns"
     )
-    compare.add_argument("database")
+    _add_database_arg(compare)
     compare.add_argument("--min-support", type=float, required=True)
     compare.add_argument("--baseline", default="bruteforce")
     compare.add_argument(
@@ -316,7 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser(
         "verify", help="independently verify a mining run's output"
     )
-    verify.add_argument("database")
+    _add_database_arg(verify)
     verify.add_argument("--min-support", type=float, required=True)
     verify.add_argument("--algorithm", default="disc-all",
                         choices=available_algorithms())
@@ -336,8 +402,31 @@ def build_parser() -> argparse.ArgumentParser:
     algos.set_defaults(func=_cmd_algorithms)
 
     stats = sub.add_parser("stats", help="summarise a database file")
-    stats.add_argument("database")
+    _add_database_arg(stats)
     stats.set_defaults(func=_cmd_stats)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP mining service (submit/poll/health/metrics)"
+    )
+    serve.add_argument(
+        "databases", nargs="*",
+        help="database files to pre-register ('-' reads one from stdin)",
+    )
+    serve.add_argument(
+        "--format", choices=("spmf", "paper"), default=None,
+        help="input format for pre-registered databases "
+             "(required for stdin; otherwise by file suffix)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listening port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="mining worker threads")
+    serve.add_argument("--queue-size", type=int, default=32,
+                       help="submission queue bound (beyond it: 429)")
+    serve.add_argument("--cache-entries", type=int, default=128,
+                       help="result-cache entry budget (0 disables caching)")
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -1,0 +1,119 @@
+"""Cooperative cancellation for long mining runs (system S26).
+
+A :class:`CancelToken` carries a cancel flag and an optional monotonic
+deadline.  Long-running miners call :meth:`CancelToken.checkpoint` at
+their natural round boundaries (DISC-all does so between first-level
+partitions and between per-k discovery rounds); a cancelled or expired
+token makes the checkpoint raise
+:class:`~repro.exceptions.OperationCancelledError`, unwinding the run at
+the next boundary instead of mid-comparison.
+
+The active token lives in a context variable, mirroring the
+:mod:`repro.obs` design: the default is a shared never-cancelled token
+whose :meth:`~CancelToken.checkpoint` is a cheap no-op, so the
+uninstrumented hot path pays one context-variable read per round and
+allocates nothing.  Scope a real token over a block with::
+
+    with cancel_scope(CancelToken.with_timeout(5.0)):
+        disc_all(members, delta)
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.exceptions import OperationCancelledError
+
+
+class CancelToken:
+    """A cancel flag plus optional absolute ``time.monotonic`` deadline."""
+
+    __slots__ = ("_cancelled", "_deadline", "_reason")
+
+    def __init__(self, deadline: float | None = None) -> None:
+        self._cancelled = False
+        self._deadline = deadline
+        self._reason = ""
+
+    @classmethod
+    def with_timeout(cls, seconds: float) -> "CancelToken":
+        """A token whose deadline is *seconds* from now."""
+        return cls(deadline=time.monotonic() + seconds)
+
+    @property
+    def deadline(self) -> float | None:
+        """The absolute monotonic deadline, when one was set."""
+        return self._deadline
+
+    @property
+    def reason(self) -> str:
+        """Why the token was cancelled ('' while it is live)."""
+        return self._reason
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Mark the token cancelled; the first reason given sticks."""
+        if not self._cancelled:
+            self._cancelled = True
+            self._reason = reason
+
+    def expired(self) -> bool:
+        """True when the deadline (if any) has passed."""
+        return self._deadline is not None and time.monotonic() >= self._deadline
+
+    def cancelled(self) -> bool:
+        """True when cancelled explicitly or past the deadline."""
+        if self._cancelled:
+            return True
+        if self.expired():
+            self.cancel("deadline exceeded")
+            return True
+        return False
+
+    def checkpoint(self) -> None:
+        """Raise :class:`OperationCancelledError` when no longer live."""
+        if self.cancelled():
+            raise OperationCancelledError(self._reason or "cancelled")
+
+
+class _NeverCancelled(CancelToken):
+    """Shared default token: never cancels, checkpoints are no-ops."""
+
+    __slots__ = ()
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        raise RuntimeError(
+            "the shared default token cannot be cancelled; "
+            "scope a real CancelToken with cancel_scope()"
+        )
+
+    def cancelled(self) -> bool:
+        return False
+
+    def checkpoint(self) -> None:
+        return None
+
+
+#: The default token: never cancelled, shared by every unscoped run.
+NEVER_CANCELLED = _NeverCancelled()
+
+_ACTIVE: ContextVar[CancelToken] = ContextVar(
+    "repro_active_cancel_token", default=NEVER_CANCELLED
+)
+
+
+def active_token() -> CancelToken:
+    """The token cooperative checkpoints currently consult."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def cancel_scope(token: CancelToken) -> Iterator[CancelToken]:
+    """Make *token* the active cancellation token for the block."""
+    handle = _ACTIVE.set(token)
+    try:
+        yield token
+    finally:
+        _ACTIVE.reset(handle)

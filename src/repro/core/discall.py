@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import ClassVar, Iterable
 
+from repro.core.cancel import active_token
 from repro.core.counting import CountingArray, count_frequent_items
 from repro.core.disc import discover_frequent_k
 from repro.core.kminimum import SortedFrequentList
@@ -149,9 +150,11 @@ def _disc_all(
 
     # Steps 1(b)-2.2: first-level partitions in ascending order.
     mined = metrics.counter("discall.first_level_mined")
+    token = active_token()
     for lam, group in iterate_first_level(members):
         if lam not in frequent_items:
             continue  # Step 2.1 guard: mine only frequent partition keys
+        token.checkpoint()
         mined.add(1)
         with obs.tracer.span("partition", lam=lam, size=len(group)):
             _process_first_level(
@@ -232,8 +235,10 @@ def _process_second_level(
 
     # Step 2.1.3.2: DISC from k = 4 (stepping by 2 under bi-level).
     rounds = metrics.counter("disc.rounds")
+    token = active_token()
     k = 4
     while frequent_k:
+        token.checkpoint()
         flist = SortedFrequentList(frequent_k)
         eligible = [(cid, seq) for cid, seq in sp_group if seq_length(seq) >= k]
         if len(eligible) < delta:

@@ -31,3 +31,12 @@ class UnknownAlgorithmError(ReproError, KeyError):
 
 class DataFormatError(ReproError, ValueError):
     """A file being read does not conform to the expected text format."""
+
+
+class OperationCancelledError(ReproError):
+    """A cooperative cancellation checkpoint observed a cancelled token.
+
+    Raised from inside a mining run when the active
+    :class:`repro.core.cancel.CancelToken` was cancelled or its deadline
+    passed; the run's partial state is discarded by the caller.
+    """

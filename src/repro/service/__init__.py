@@ -1,0 +1,72 @@
+"""Mining service: registry, result cache, scheduler, HTTP (system S27).
+
+The service layer turns the one-shot :func:`repro.mine` call into a
+long-lived server: databases are loaded once and keyed by content
+digest, results are cached by ``(digest, delta, algorithm, options)``,
+jobs run on a bounded worker pool with explicit backpressure and per-job
+deadlines, and a stdlib HTTP front-end exposes submit/poll/health/
+metrics.  Zero dependencies beyond the standard library, like the rest
+of the repository.
+
+Quickstart::
+
+    from repro.service import MiningService
+    from repro.service.http import make_server
+
+    service = MiningService(workers=2, queue_size=32, cache_entries=128)
+    service.register_database("demo", db)
+    job = service.submit_mine("demo", min_support=0.01)
+    service.wait(job.id, timeout=60.0)
+
+or from the shell: ``repro serve demo.spmf --port 8765``.
+"""
+
+from repro.service.cache import CacheKey, ResultCache, freeze_options
+from repro.service.errors import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    UnknownDatabaseError,
+    UnknownJobError,
+)
+from repro.service.registry import (
+    DatabaseRegistry,
+    RegisteredDatabase,
+    database_digest,
+)
+from repro.service.scheduler import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobScheduler,
+)
+from repro.service.service import MineOutcome, MineRequest, MiningService
+
+__all__ = [
+    "CacheKey",
+    "ResultCache",
+    "freeze_options",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "UnknownDatabaseError",
+    "UnknownJobError",
+    "DatabaseRegistry",
+    "RegisteredDatabase",
+    "database_digest",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+    "Job",
+    "JobScheduler",
+    "MineOutcome",
+    "MineRequest",
+    "MiningService",
+]

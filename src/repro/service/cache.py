@@ -1,0 +1,115 @@
+"""Result cache: LRU over (digest, delta, algorithm, options) (system S27).
+
+Real deployments re-issue the same (database, delta) queries constantly;
+mining is deterministic, so a completed :class:`MiningResult` can be
+served again for free.  Keys embed the database *content digest* — not
+the name — so renaming a database keeps its entries warm while
+re-registering a name with new content naturally misses, and the old
+digest's entries are dropped explicitly via :meth:`invalidate_digest`.
+
+The key also freezes the resolved delta (a fractional ``min_support``
+and the equivalent absolute count share one entry), the algorithm name,
+and the extra miner options.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import InvalidParameterError
+from repro.mining.result import MiningResult
+
+#: Frozen miner options: sorted (name, value) pairs.
+FrozenOptions = tuple[tuple[str, object], ...]
+
+
+def freeze_options(options: Mapping[str, object] | None) -> FrozenOptions:
+    """Canonical hashable form of a miner options mapping.
+
+    Only hashable option values are cacheable; anything else (lists,
+    dicts) is rejected up front so the error surfaces at submission,
+    not at some later cache lookup.
+    """
+    if not options:
+        return ()
+    for name, value in options.items():
+        try:
+            hash(value)
+        except TypeError:
+            raise InvalidParameterError(
+                f"option {name!r} has unhashable value {value!r}; "
+                "cacheable miner options must be scalars"
+            ) from None
+    # repro: allow[DISC002] — option name strings, not sequences
+    return tuple(sorted(options.items()))
+
+
+@dataclass(frozen=True, slots=True)
+class CacheKey:
+    """Identity of one mining request against one database content."""
+
+    digest: str
+    delta: int
+    algorithm: str
+    options: FrozenOptions
+
+
+class ResultCache:
+    """Thread-safe LRU cache of mining results with an entry budget."""
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 0:
+            raise InvalidParameterError(
+                f"cache max_entries must be >= 0, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, MiningResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: CacheKey) -> MiningResult | None:
+        """The cached result for *key*, refreshing its LRU position."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key: CacheKey, result: MiningResult) -> None:
+        """Store *result* under *key*, evicting LRU entries over budget."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def invalidate_digest(self, digest: str) -> int:
+        """Drop every entry keyed on *digest*; returns how many."""
+        with self._lock:
+            stale = [key for key in self._entries if key.digest == digest]
+            for key in stale:
+                del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[CacheKey]:
+        """Current keys, least- to most-recently used (test aid)."""
+        with self._lock:
+            return list(self._entries)

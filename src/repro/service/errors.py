@@ -1,0 +1,35 @@
+"""Typed errors of the mining service (system S27).
+
+Every service failure mode gets its own class so callers — and the HTTP
+front-end mapping errors to status codes — dispatch on type, never on
+message text.  All derive from :class:`~repro.exceptions.ReproError`, so
+``except ReproError`` at the CLI boundary keeps covering the service.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+
+class ServiceError(ReproError):
+    """Base class for mining-service failures."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The submission queue is full; the job was rejected, not queued.
+
+    Backpressure is explicit: the caller learns immediately and may retry
+    later, instead of the server accumulating unbounded queued work.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shutting down and no longer accepts submissions."""
+
+
+class UnknownDatabaseError(ServiceError, KeyError):
+    """No registered database matches the given name or digest."""
+
+
+class UnknownJobError(ServiceError, KeyError):
+    """No job with the given id exists (or it was pruned from history)."""

@@ -1,0 +1,319 @@
+"""HTTP front-end for the mining service (system S27).
+
+A thin JSON layer over :class:`MiningService` on stdlib
+``http.server.ThreadingHTTPServer`` (one thread per connection; the
+mining work itself stays on the scheduler's bounded worker pool, so
+request threads only validate, enqueue and poll).
+
+Endpoints::
+
+    GET  /                      endpoint index
+    GET  /healthz               liveness + queue/cache summary
+    GET  /metrics               JSON render of the live metrics registry
+    POST /databases             register {name, format, content}
+    DELETE /databases/<name>    evict a registered database
+    POST /mine                  submit {database, min_support, ...} -> job id
+    GET  /jobs                  job summaries
+    GET  /jobs/<id>[?top=N]     job status; patterns once done
+
+Error responses are ``{"error": {"code": ..., "message": ...}}`` with
+the HTTP status carrying the class: 429 ``overloaded`` (backpressure),
+503 ``shutting_down``, 404 ``unknown_database`` / ``unknown_job``, 400
+for bad parameters or malformed databases.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.sequence import format_seq
+from repro.db import io as dbio
+from repro.exceptions import (
+    DataFormatError,
+    InvalidParameterError,
+    ReproError,
+    UnknownAlgorithmError,
+)
+from repro.service.errors import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    UnknownDatabaseError,
+    UnknownJobError,
+)
+from repro.service.scheduler import DONE, Job
+from repro.service.service import MineOutcome, MineRequest, MiningService
+
+#: Error class -> (HTTP status, machine-readable error code).
+_ERROR_STATUS: tuple[tuple[type[ReproError], int, str], ...] = (
+    (ServiceOverloadedError, 429, "overloaded"),
+    (ServiceClosedError, 503, "shutting_down"),
+    (UnknownDatabaseError, 404, "unknown_database"),
+    (UnknownJobError, 404, "unknown_job"),
+    (UnknownAlgorithmError, 400, "unknown_algorithm"),
+    (DataFormatError, 400, "bad_database"),
+    (InvalidParameterError, 400, "bad_parameter"),
+    (ReproError, 400, "error"),
+)
+
+
+def _error_payload(exc: ReproError) -> tuple[int, dict[str, object]]:
+    """Map a service/library error to (status, JSON body)."""
+    message = str(exc.args[0]) if exc.args else str(exc)
+    for klass, status, code in _ERROR_STATUS:
+        if isinstance(exc, klass):
+            return status, {"error": {"code": code, "message": message}}
+    return 500, {"error": {"code": "internal", "message": message}}
+
+
+def job_payload(job: Job, top: int | None = None) -> dict[str, object]:
+    """The JSON document for one job (``GET /jobs/<id>``)."""
+    payload: dict[str, object] = {
+        "id": job.id,
+        "status": job.state,
+        "queued_seconds": round(job.queued_seconds(), 6),
+        "run_seconds": round(job.run_seconds(), 6),
+    }
+    request = job.request
+    if isinstance(request, MineRequest):
+        payload["request"] = {
+            "database": request.database,
+            "digest": request.digest,
+            "delta": request.delta,
+            "algorithm": request.algorithm,
+            "options": dict(request.options),
+        }
+    if job.error is not None:
+        payload["error"] = {"code": job.error_code, "message": job.error}
+    outcome = job.result
+    if job.state == DONE and isinstance(outcome, MineOutcome):
+        result = outcome.result
+        ranked = result.sorted_patterns()
+        shown = ranked if top is None else ranked[:top]
+        payload["cached"] = outcome.cached
+        payload["result"] = {
+            "algorithm": result.algorithm,
+            "delta": result.delta,
+            "database_size": result.database_size,
+            "elapsed_seconds": result.elapsed_seconds,
+            "pattern_count": len(result),
+            "patterns": [
+                {"pattern": format_seq(raw), "support": result.patterns[raw]}
+                for raw in shown
+            ],
+        }
+    return payload
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning server's MiningService."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Quiet by default: telemetry lives in /metrics, not stderr."""
+
+    def _send_json(self, status: int, payload: dict[str, object]) -> None:
+        body = json.dumps(payload, indent=1).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, exc: ReproError) -> None:
+        status, payload = _error_payload(exc)
+        self._send_json(status, payload)
+
+    def _read_json(self) -> dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw.decode("utf-8") or "{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise InvalidParameterError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise InvalidParameterError("request body must be a JSON object")
+        return payload
+
+    @property
+    def service(self) -> MiningService:
+        return self.server.service
+
+    # -- routing -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        split = urlsplit(self.path)
+        parts = [part for part in split.path.split("/") if part]
+        try:
+            if not parts:
+                self._send_json(200, _INDEX)
+            elif parts == ["healthz"]:
+                self._send_json(200, self.service.health())
+            elif parts == ["metrics"]:
+                self._send_json(200, {
+                    "format": "repro.service-metrics",
+                    "version": 1,
+                    "metrics": self.service.metrics_snapshot(),
+                })
+            elif parts == ["jobs"]:
+                self._send_json(200, {
+                    "jobs": [
+                        {"id": job.id, "status": job.state}
+                        for job in self.service.scheduler.jobs()
+                    ]
+                })
+            elif len(parts) == 2 and parts[0] == "jobs":
+                top = _query_int(parse_qs(split.query), "top")
+                job = self.service.job(parts[1])
+                self._send_json(200, job_payload(job, top=top))
+            else:
+                self._send_json(404, _NOT_FOUND)
+        except ReproError as exc:
+            self._send_error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        parts = [part for part in urlsplit(self.path).path.split("/") if part]
+        try:
+            if parts == ["mine"]:
+                self._post_mine()
+            elif parts == ["databases"]:
+                self._post_database()
+            else:
+                self._send_json(404, _NOT_FOUND)
+        except ReproError as exc:
+            self._send_error(exc)
+
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server naming)
+        parts = [part for part in urlsplit(self.path).path.split("/") if part]
+        try:
+            if len(parts) == 2 and parts[0] == "databases":
+                entry = self.service.registry.evict(parts[1])
+                dropped = self.service.cache.invalidate_digest(entry.digest)
+                self._send_json(200, {
+                    "evicted": entry.name,
+                    "digest": entry.digest,
+                    "cache_entries_dropped": dropped,
+                })
+            else:
+                self._send_json(404, _NOT_FOUND)
+        except ReproError as exc:
+            self._send_error(exc)
+
+    # -- handlers ------------------------------------------------------------
+
+    def _post_mine(self) -> None:
+        payload = self._read_json()
+        database = payload.get("database")
+        if not isinstance(database, str) or not database:
+            raise InvalidParameterError("'database' must be a registered name")
+        min_support = payload.get("min_support")
+        if not isinstance(min_support, (int, float)) or isinstance(
+            min_support, bool
+        ):
+            raise InvalidParameterError(
+                "'min_support' must be a number (int = absolute count, "
+                "float in (0, 1] = fraction)"
+            )
+        algorithm = payload.get("algorithm", "disc-all")
+        if not isinstance(algorithm, str):
+            raise InvalidParameterError("'algorithm' must be a string")
+        options = payload.get("options")
+        if options is not None and not isinstance(options, dict):
+            raise InvalidParameterError("'options' must be a JSON object")
+        deadline = payload.get("deadline_seconds")
+        if deadline is not None and (
+            not isinstance(deadline, (int, float)) or isinstance(deadline, bool)
+            or deadline <= 0
+        ):
+            raise InvalidParameterError("'deadline_seconds' must be > 0")
+        job = self.service.submit_mine(
+            database,
+            min_support,
+            algorithm=algorithm,
+            options=options,
+            deadline_seconds=float(deadline) if deadline is not None else None,
+        )
+        status = 200 if job.state == DONE else 202
+        body: dict[str, object] = {"job_id": job.id, "status": job.state}
+        if job.state == DONE and isinstance(job.result, MineOutcome):
+            body["cached"] = job.result.cached
+        self._send_json(status, body)
+
+    def _post_database(self) -> None:
+        payload = self._read_json()
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise InvalidParameterError("'name' must be a non-empty string")
+        fmt = payload.get("format", "spmf")
+        if fmt not in ("spmf", "paper"):
+            raise InvalidParameterError("'format' must be 'spmf' or 'paper'")
+        content = payload.get("content")
+        if not isinstance(content, str) or not content.strip():
+            raise InvalidParameterError("'content' must be the database text")
+        reader = dbio.read_spmf if fmt == "spmf" else dbio.read_paper
+        db = reader(io.StringIO(content))
+        entry, replaced = self.service.register_database(name, db)
+        self._send_json(200, {
+            "name": entry.name,
+            "digest": entry.digest,
+            "sequences": len(entry.db),
+            "replaced": replaced,
+        })
+
+
+_INDEX: dict[str, object] = {
+    "service": "repro.service",
+    "endpoints": [
+        "GET /healthz",
+        "GET /metrics",
+        "POST /databases",
+        "DELETE /databases/<name>",
+        "POST /mine",
+        "GET /jobs",
+        "GET /jobs/<id>",
+    ],
+}
+
+_NOT_FOUND: dict[str, object] = {
+    "error": {"code": "not_found", "message": "unknown endpoint"}
+}
+
+
+def _query_int(query: dict[str, list[str]], name: str) -> int | None:
+    values = query.get(name)
+    if not values:
+        return None
+    try:
+        return int(values[-1])
+    except ValueError:
+        raise InvalidParameterError(
+            f"query parameter {name!r} must be an integer"
+        ) from None
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns a :class:`MiningService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # Admission control belongs to the scheduler's bounded queue, not the
+    # TCP accept backlog: hold concurrent connection bursts long enough
+    # to answer each with a proper 202/429 instead of a connection reset.
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], service: MiningService) -> None:
+        self.service = service
+        super().__init__(address, ServiceRequestHandler)
+
+
+def make_server(
+    service: MiningService, host: str = "127.0.0.1", port: int = 8765
+) -> ServiceHTTPServer:
+    """Bind (but do not start) the HTTP front-end; port 0 picks a free one."""
+    return ServiceHTTPServer((host, port), service)

@@ -1,0 +1,108 @@
+"""Database registry: load once, key by content digest (system S27).
+
+A long-lived server must not re-read and re-canonicalise a database on
+every request — the registry holds each :class:`SequenceDatabase` in
+memory under a user-chosen name *and* a stable content digest.  The
+digest is what result-cache keys embed: two names for identical content
+share cache entries, and re-registering a name with different content
+changes the digest, orphaning (and thereby invalidating) the old
+entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.db.database import SequenceDatabase
+from repro.service.errors import UnknownDatabaseError
+
+
+def database_digest(db: SequenceDatabase) -> str:
+    """A stable hex digest of the database *content*.
+
+    Hashes the canonical integer sequences (not the source file bytes),
+    so the same logical database read from SPMF or paper notation — or
+    re-read with different whitespace — digests identically.
+    """
+    hasher = hashlib.sha256()
+    for seq in db.sequences:
+        for txn in seq:
+            hasher.update(b"(")
+            for item in txn:
+                hasher.update(b"%d," % item)
+            hasher.update(b")")
+        hasher.update(b";")
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class RegisteredDatabase:
+    """One registry entry: a named, digested, loaded database."""
+
+    name: str
+    digest: str
+    db: SequenceDatabase
+
+
+class DatabaseRegistry:
+    """Thread-safe name/digest -> loaded database mapping."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_name: dict[str, RegisteredDatabase] = {}
+
+    def register(
+        self, name: str, db: SequenceDatabase
+    ) -> tuple[RegisteredDatabase, str | None]:
+        """Register *db* under *name*; return ``(entry, replaced_digest)``.
+
+        ``replaced_digest`` is the digest of the content previously
+        registered under *name* when that content differed (the caller
+        uses it to invalidate cache entries), else ``None``.
+        """
+        entry = RegisteredDatabase(name, database_digest(db), db)
+        with self._lock:
+            previous = self._by_name.get(name)
+            self._by_name[name] = entry
+        if previous is not None and previous.digest != entry.digest:
+            return entry, previous.digest
+        return entry, None
+
+    def get(self, name_or_digest: str) -> RegisteredDatabase:
+        """Resolve an entry by name, falling back to digest lookup."""
+        with self._lock:
+            entry = self._by_name.get(name_or_digest)
+            if entry is not None:
+                return entry
+            for entry in self._by_name.values():
+                if entry.digest == name_or_digest:
+                    return entry
+        raise UnknownDatabaseError(
+            f"no registered database named {name_or_digest!r}"
+        )
+
+    def evict(self, name: str) -> RegisteredDatabase:
+        """Remove and return the entry registered under *name*."""
+        with self._lock:
+            entry = self._by_name.pop(name, None)
+        if entry is None:
+            raise UnknownDatabaseError(f"no registered database named {name!r}")
+        return entry
+
+    def names(self) -> list[str]:
+        """Registered names, sorted."""
+        with self._lock:
+            # repro: allow[DISC002] — database name strings, not sequences
+            return sorted(self._by_name)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_name)
+
+    def __iter__(self) -> Iterator[RegisteredDatabase]:
+        with self._lock:
+            entries = list(self._by_name.values())
+        return iter(entries)

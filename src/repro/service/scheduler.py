@@ -1,0 +1,313 @@
+"""Job scheduler: bounded queue, worker pool, deadlines (system S27).
+
+Admission control is the point: the submission queue is bounded, and a
+submission finding it full is rejected *immediately* with
+:class:`ServiceOverloadedError` — explicit backpressure instead of
+unbounded queueing.  Worker threads pop jobs in FIFO order and hand them
+to the runner under a :mod:`repro.core.cancel` scope, so a per-job
+deadline unwinds the miner cooperatively at its next round boundary.
+
+The scheduler is generic: it knows nothing about mining.  The runner
+callable receives the :class:`Job` and returns the job's result payload;
+the service layer supplies a runner that consults the result cache and
+calls :func:`repro.mine`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.core.cancel import CancelToken, cancel_scope
+from repro.exceptions import (
+    InvalidParameterError,
+    OperationCancelledError,
+    ReproError,
+)
+from repro.obs.metrics import MetricsRegistry, NoopMetricsRegistry
+from repro.service.errors import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    UnknownJobError,
+)
+
+#: Job lifecycle states (terminal: done / failed / cancelled).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: Bucket bounds (seconds) for the job-latency histogram.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0,
+)
+
+_SENTINEL = object()
+
+
+class Job:
+    """One scheduled unit of work and its lifecycle record."""
+
+    __slots__ = (
+        "id", "request", "state", "result", "error", "error_code",
+        "token", "submitted_at", "started_at", "finished_at", "done_event",
+    )
+
+    def __init__(self, job_id: str, request: object, token: CancelToken) -> None:
+        self.id = job_id
+        self.request = request
+        self.state = QUEUED
+        self.result: object | None = None
+        self.error: str | None = None
+        self.error_code: str | None = None
+        self.token = token
+        self.submitted_at = time.monotonic()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.done_event = threading.Event()
+
+    @property
+    def finished(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.state in TERMINAL_STATES
+
+    def queued_seconds(self) -> float:
+        """Time spent waiting in the queue."""
+        reference = self.started_at or self.finished_at or time.monotonic()
+        return max(0.0, reference - self.submitted_at)
+
+    def run_seconds(self) -> float:
+        """Time spent inside the runner (0.0 before it starts)."""
+        if self.started_at is None:
+            return 0.0
+        reference = self.finished_at or time.monotonic()
+        return max(0.0, reference - self.started_at)
+
+
+class JobScheduler:
+    """Bounded-queue worker pool with typed rejection and deadlines."""
+
+    def __init__(
+        self,
+        runner: Callable[[Job], object],
+        workers: int = 2,
+        queue_size: int = 32,
+        metrics: MetricsRegistry | None = None,
+        job_history: int = 1024,
+    ) -> None:
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        if queue_size < 1:
+            raise InvalidParameterError(
+                f"queue_size must be >= 1, got {queue_size}"
+            )
+        self._runner = runner
+        self._metrics = metrics if metrics is not None else NoopMetricsRegistry()
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_size)
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._finished_order: deque[str] = deque()
+        self._job_history = job_history
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._depth = self._metrics.gauge("service.queue_depth")
+        self._rejected = self._metrics.counter("service.rejected")
+        self._latency = self._metrics.histogram(
+            "service.job_seconds", bounds=LATENCY_BUCKETS
+        )
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{n}", daemon=True
+            )
+            for n in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self, request: object, deadline_seconds: float | None = None
+    ) -> Job:
+        """Queue *request*; reject immediately when the queue is full."""
+        token = (
+            CancelToken.with_timeout(deadline_seconds)
+            if deadline_seconds is not None
+            else CancelToken()
+        )
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is shutting down")
+            job = Job(f"j{next(self._ids):06d}", request, token)
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self._rejected.add(1)
+                raise ServiceOverloadedError(
+                    f"submission queue is full ({self._queue.maxsize} "
+                    "pending); retry later"
+                ) from None
+            self._jobs[job.id] = job
+        self._depth.set(self._queue.qsize())
+        return job
+
+    def submit_finished(self, request: object, result: object) -> Job:
+        """A job born finished (e.g. a cache hit): no queue, no worker.
+
+        The caller gets a normal job id and payload, but the submission
+        never occupies queue capacity, so cache hits are exempt from
+        backpressure by construction.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is shutting down")
+            job = Job(f"j{next(self._ids):06d}", request, CancelToken())
+            self._jobs[job.id] = job
+            job.result = result
+            job.started_at = job.submitted_at
+            self._finish_locked(job, DONE, None, None)
+        return job
+
+    def get(self, job_id: str) -> Job:
+        """The job with *job_id*; raises :class:`UnknownJobError`."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"no job {job_id!r}")
+        return job
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job finishes; raises ``TimeoutError`` if not."""
+        job = self.get(job_id)
+        if not job.done_event.wait(timeout):
+            raise TimeoutError(f"job {job_id} still {job.state} after {timeout}s")
+        return job
+
+    def cancel(self, job_id: str, reason: str = "cancelled by caller") -> Job:
+        """Request cooperative cancellation of a job.
+
+        A queued job is finished as cancelled immediately; a running job
+        stops at its next checkpoint; a finished job is left untouched.
+        """
+        job = self.get(job_id)
+        with self._lock:
+            if job.state == QUEUED:
+                self._finish_locked(job, CANCELLED, reason, "cancelled")
+                return job
+        if not job.finished:
+            job.token.cancel(reason)
+        return job
+
+    def jobs(self) -> list[Job]:
+        """Snapshot of all retained jobs, submission order."""
+        with self._lock:
+            return [job for _, job in sorted(self._jobs.items(), key=lambda kv: kv[0])]
+
+    def queue_depth(self) -> int:
+        """Jobs currently waiting in the queue."""
+        return self._queue.qsize()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting work and shut the pool down.
+
+        With ``drain=True`` (the default) queued jobs are completed
+        before the workers exit; with ``drain=False`` queued jobs are
+        finished as cancelled without running.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if isinstance(item, Job):
+                    with self._lock:
+                        if item.state == QUEUED:
+                            self._finish_locked(
+                                item, CANCELLED, "service shutdown", "shutdown"
+                            )
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for worker in self._workers:
+            worker.join(timeout)
+        self._depth.set(self._queue.qsize())
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has begun."""
+        return self._closed
+
+    # -- internals -----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            self._depth.set(self._queue.qsize())
+            if item is _SENTINEL:
+                return
+            assert isinstance(item, Job)
+            self._run_job(item)
+
+    def _run_job(self, job: Job) -> None:
+        with self._lock:
+            if job.state != QUEUED:
+                return  # cancelled while waiting in the queue
+            if job.token.cancelled():
+                self._finish_locked(
+                    job, CANCELLED, "deadline exceeded before start", "deadline"
+                )
+                return
+            job.state = RUNNING
+            job.started_at = time.monotonic()
+        try:
+            with cancel_scope(job.token):
+                result = self._runner(job)
+        except OperationCancelledError as exc:
+            code = "deadline" if "deadline" in job.token.reason else "cancelled"
+            self._finish(job, CANCELLED, str(exc), code)
+        except ReproError as exc:
+            self._finish(job, FAILED, str(exc), "error")
+        except Exception as exc:  # keep the worker alive on runner bugs
+            self._finish(job, FAILED, f"{type(exc).__name__}: {exc}", "internal")
+        else:
+            job.result = result
+            self._finish(job, DONE, None, None)
+
+    def _finish(
+        self, job: Job, state: str, error: str | None, code: str | None
+    ) -> None:
+        with self._lock:
+            self._finish_locked(job, state, error, code)
+
+    def _finish_locked(
+        self, job: Job, state: str, error: str | None, code: str | None
+    ) -> None:
+        if job.finished:
+            return
+        job.state = state
+        job.error = error
+        job.error_code = code
+        job.finished_at = time.monotonic()
+        self._metrics.counter("service.jobs", state=state).add(1)
+        self._latency.record(job.finished_at - job.submitted_at)
+        job.done_event.set()
+        self._finished_order.append(job.id)
+        while len(self._finished_order) > self._job_history:
+            stale = self._finished_order.popleft()
+            removed = self._jobs.get(stale)
+            if removed is not None and removed.finished:
+                del self._jobs[stale]

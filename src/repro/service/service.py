@@ -1,0 +1,216 @@
+"""The mining service: registry + cache + scheduler + metrics (system S27).
+
+:class:`MiningService` is the long-lived object behind ``repro serve``
+(and directly embeddable in tests or other servers).  It loads each
+database once, resolves every submission to a cache key
+``(db_digest, delta, algorithm, frozen options)``, serves repeats from
+the LRU cache, and schedules misses onto the worker pool under
+admission control.
+
+Telemetry shares the :mod:`repro.obs` vocabulary: the service owns a
+live :class:`MetricsRegistry` holding ``service.queue_depth``,
+``service.cache_hits`` / ``service.cache_misses`` / ``service.rejected``,
+the ``service.job_seconds`` latency histogram — and, merged in from each
+completed job's :class:`RunReport`, the cumulative mining counters
+(``disc.rounds``, ``disc.comparisons``, ...), so server telemetry and
+``repro bench`` trajectories read the same names.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.db.database import SequenceDatabase
+from repro.mining.api import mine
+from repro.mining.registry import get_algorithm
+from repro.mining.result import MiningResult
+from repro.obs import MetricsRegistry, RunReport
+from repro.service.cache import CacheKey, FrozenOptions, ResultCache, freeze_options
+from repro.service.registry import DatabaseRegistry, RegisteredDatabase
+from repro.service.scheduler import Job, JobScheduler
+
+
+@dataclass(frozen=True, slots=True)
+class MineRequest:
+    """A resolved, validated mining submission (what a job carries)."""
+
+    database: str
+    digest: str
+    db: SequenceDatabase
+    delta: int
+    algorithm: str
+    options: FrozenOptions
+
+    def cache_key(self) -> CacheKey:
+        return CacheKey(self.digest, self.delta, self.algorithm, self.options)
+
+
+@dataclass(frozen=True, slots=True)
+class MineOutcome:
+    """A completed job's payload: the result and where it came from."""
+
+    result: MiningResult
+    cached: bool
+
+
+class MiningService:
+    """Load-once, cache-aware, admission-controlled mining server core."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_size: int = 32,
+        cache_entries: int = 128,
+        job_history: int = 1024,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.registry = DatabaseRegistry()
+        self.cache = ResultCache(cache_entries)
+        self._merge_lock = threading.Lock()
+        self._cache_hits = self.metrics.counter("service.cache_hits")
+        self._cache_misses = self.metrics.counter("service.cache_misses")
+        self.scheduler = JobScheduler(
+            self._run_job,
+            workers=workers,
+            queue_size=queue_size,
+            metrics=self.metrics,
+            job_history=job_history,
+        )
+
+    # -- databases -----------------------------------------------------------
+
+    def register_database(
+        self, name: str, db: SequenceDatabase
+    ) -> tuple[RegisteredDatabase, bool]:
+        """Register *db* under *name*; returns ``(entry, replaced)``.
+
+        Re-registering a name with different content invalidates every
+        cache entry of the previous content's digest.
+        """
+        entry, replaced_digest = self.registry.register(name, db)
+        if replaced_digest is not None:
+            dropped = self.cache.invalidate_digest(replaced_digest)
+            self.metrics.counter("service.cache_invalidated").add(dropped)
+        return entry, replaced_digest is not None
+
+    # -- submissions ---------------------------------------------------------
+
+    def submit_mine(
+        self,
+        database: str,
+        min_support: float | int,
+        algorithm: str = "disc-all",
+        options: Mapping[str, object] | None = None,
+        deadline_seconds: float | None = None,
+    ) -> Job:
+        """Validate, consult the cache, and queue a mining job.
+
+        A cache hit returns an already-finished job without touching the
+        queue (hits are never subject to backpressure); a miss enqueues
+        and may raise :class:`ServiceOverloadedError` immediately.
+        """
+        entry = self.registry.get(database)
+        delta = entry.db.delta_for(min_support)
+        get_algorithm(algorithm)  # validates the name before queueing
+        request = MineRequest(
+            database=entry.name,
+            digest=entry.digest,
+            db=entry.db,
+            delta=delta,
+            algorithm=algorithm,
+            options=freeze_options(options),
+        )
+        cached = self.cache.get(request.cache_key())
+        if cached is not None:
+            job = self.scheduler.submit_finished(
+                request, MineOutcome(cached, cached=True)
+            )
+            # counted only after submit_finished: a hit during shutdown
+            # is a 503, not a served response
+            with self._merge_lock:
+                self._cache_hits.add(1)
+            return job
+        return self.scheduler.submit(request, deadline_seconds=deadline_seconds)
+
+    def job(self, job_id: str) -> Job:
+        """Look a job up by id."""
+        return self.scheduler.get(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until a job finishes (test and CLI convenience)."""
+        return self.scheduler.wait(job_id, timeout)
+
+    # -- introspection -------------------------------------------------------
+
+    def health(self) -> dict[str, object]:
+        """Liveness summary for ``GET /healthz``."""
+        return {
+            "status": "shutting_down" if self.scheduler.closed else "ok",
+            "databases": len(self.registry),
+            "cache_entries": len(self.cache),
+            "queue_depth": self.scheduler.queue_depth(),
+            "jobs": len(self.scheduler.jobs()),
+        }
+
+    def metrics_snapshot(self) -> dict[str, dict[str, object]]:
+        """The live registry as plain data for ``GET /metrics``."""
+        with self._merge_lock:
+            return self.metrics.snapshot()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Shut down, draining in-flight jobs unless told otherwise."""
+        self.scheduler.close(drain=drain, timeout=timeout)
+
+    def __enter__(self) -> "MiningService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close(drain=True)
+
+    # -- the worker-side runner ----------------------------------------------
+
+    def _run_job(self, job: Job) -> MineOutcome:
+        request = job.request
+        assert isinstance(request, MineRequest)
+        key = request.cache_key()
+        cached = self.cache.get(key)
+        if cached is not None:
+            # An identical job completed while this one waited in line.
+            with self._merge_lock:
+                self._cache_hits.add(1)
+            return MineOutcome(cached, cached=True)
+        result = mine(
+            request.db,
+            request.delta,
+            algorithm=request.algorithm,
+            observe=True,
+            **dict(request.options),
+        )
+        self.cache.put(key, result)
+        with self._merge_lock:
+            self._cache_misses.add(1)
+            if result.report is not None:
+                self._absorb_report(result.report)
+        return MineOutcome(result, cached=False)
+
+    def _absorb_report(self, report: RunReport) -> None:
+        """Merge one job's counters into the cumulative service registry.
+
+        Jobs run under their own per-run observation (so reports stay
+        per-job exact); the service accumulates only the counters, which
+        merge by addition.  Called with ``_merge_lock`` held.
+        """
+        for entry in report.metrics.values():
+            if entry.get("type") != "counter":
+                continue
+            name = entry.get("name")
+            value = entry.get("value")
+            if not isinstance(name, str) or not isinstance(value, int):
+                continue
+            labels = entry.get("labels")
+            label_map = labels if isinstance(labels, dict) else {}
+            self.metrics.counter(name, **label_map).add(value)

@@ -1,0 +1,24 @@
+"""Violating fixture: service-layer code breaking DISC002 and DISC005.
+
+Expected findings: DISC002 at the default-ordered sort over cached
+pattern keys, DISC005 at the silent-pass handler that would leave a job
+stuck in RUNNING forever.  The keyed sort and re-raising handler below
+are clean.
+"""
+
+
+def ranked_cache_keys(cache):
+    return sorted(cache.keys())
+
+
+def run_job_quietly(job, runner):
+    try:
+        job.result = runner(job)
+    except RuntimeError:
+        pass
+    except ValueError as exc:
+        raise RuntimeError("job failed") from exc
+
+
+def ranked_cache_keys_ok(cache, sort_key):
+    return sorted(cache.keys(), key=sort_key)

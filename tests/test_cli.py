@@ -199,3 +199,46 @@ class TestTopkAndRules:
         out = capsys.readouterr().out
         assert "rules (conf >= 0.9)" in out
         assert "=>" in out
+
+
+class TestStdinAndFormat:
+    def test_mine_reads_spmf_from_stdin(self, table1_db, capsys, monkeypatch):
+        import io
+
+        buffer = io.StringIO()
+        dbio.write_spmf(table1_db, buffer)
+        monkeypatch.setattr("sys.stdin", io.StringIO(buffer.getvalue()))
+        code = main(["mine", "-", "--format", "spmf", "--min-support", "2"])
+        assert code == 0
+        assert "frequent sequences" in capsys.readouterr().out
+
+    def test_stats_reads_paper_from_stdin(self, table1_db, capsys, monkeypatch):
+        import io
+
+        buffer = io.StringIO()
+        dbio.write_paper(table1_db, buffer)
+        monkeypatch.setattr("sys.stdin", io.StringIO(buffer.getvalue()))
+        assert main(["stats", "-", "--format", "paper"]) == 0
+        assert "sequences:            4" in capsys.readouterr().out
+
+    def test_stdin_without_format_is_an_error(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("1 -1 -2\n"))
+        assert main(["mine", "-", "--min-support", "2"]) == 2
+        assert "--format" in capsys.readouterr().err
+
+    def test_format_overrides_suffix_dispatch(self, tmp_path, table1_db, capsys):
+        # paper-format content under an .spmf suffix: the explicit flag
+        # must win over the filename heuristic
+        path = tmp_path / "mislabeled.spmf"
+        dbio.write_paper(table1_db, path)
+        code = main([
+            "mine", str(path), "--format", "paper", "--min-support", "2",
+        ])
+        assert code == 0
+        assert "frequent sequences" in capsys.readouterr().out
+
+    def test_bad_format_value_is_a_usage_error(self, spmf_file):
+        with pytest.raises(SystemExit):
+            main(["mine", spmf_file, "--format", "csv", "--min-support", "2"])

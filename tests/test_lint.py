@@ -63,6 +63,11 @@ class TestRuleFixtures:
         found = findings_of(FIXTURES / "mining" / "bad_except.py")
         assert [rule for rule, _ in found] == ["DISC005", "DISC005"]
 
+    def test_service_layer_fixture(self):
+        found = findings_of(FIXTURES / "service" / "bad_service.py")
+        assert [rule for rule, _ in found] == ["DISC002", "DISC005"]
+        assert found[0][1] == 11  # the default-ordered sort
+
     def test_disc006_stdout_telemetry(self):
         found = findings_of(FIXTURES / "core" / "bad_print.py")
         # the logging imports and both print() calls; the obs-API call
@@ -95,6 +100,15 @@ class TestScoping:
         assert lint_source(source, path="repro/db/helper.py") == []
         in_scope = lint_source(source, path="repro/core/helper.py")
         assert [f.rule_id for f in in_scope] == ["DISC002"]
+
+    def test_disc002_and_disc005_cover_the_service_layer(self):
+        sort = "def f(xs):\n    return sorted(xs)\n"
+        assert [f.rule_id for f in lint_source(sort, path="repro/service/x.py")] == [
+            "DISC002"
+        ]
+        swallow = "def f(g):\n    try:\n        g()\n    except:\n        pass\n"
+        found = lint_source(swallow, path="repro/service/x.py")
+        assert "DISC005" in [f.rule_id for f in found]
 
     def test_disc001_applies_only_to_disc_modules(self):
         source = (
@@ -221,7 +235,8 @@ class TestCli:
     def test_every_violating_fixture_fails_the_cli(self):
         for name in ("core/disc.py", "core/bad_sort.py", "core/bad_mutation.py",
                      "core/bad_dataclass.py", "mining/bad_except.py",
-                     "core/bad_allow.py", "core/bad_print.py"):
+                     "core/bad_allow.py", "core/bad_print.py",
+                     "service/bad_service.py"):
             assert main(["lint", str(FIXTURES / name)]) == 1, name
 
     def test_json_format(self, capsys):

@@ -395,3 +395,54 @@ class TestSerializeReport:
         assert "report" not in payload
         buffer.seek(0)
         assert load_result(buffer).report is None
+
+
+class TestConcurrentObservation:
+    """Reports are contextvar-scoped: parallel runs must not bleed."""
+
+    def test_parallel_mine_reports_do_not_cross_contaminate(self):
+        import threading
+
+        from repro.db.database import SequenceDatabase
+
+        # Databases of different sizes: every mining counter (rounds,
+        # partitions, comparisons) takes a different value per database,
+        # so any cross-thread contamination shows up as a mismatch
+        # against the serial baseline.
+        databases = [
+            SequenceDatabase.from_texts(["(1)(2)(3)(4)(5)(6)"] * n)
+            for n in (3, 5, 7, 9)
+        ]
+        baselines = [
+            mine(db, 2, observe=True).report.metrics for db in databases
+        ]
+
+        def counters(metrics: dict) -> dict:
+            return {
+                key: entry["value"]
+                for key, entry in metrics.items()
+                if entry["type"] == "counter"
+            }
+
+        for _ in range(5):  # repeat: interleavings vary run to run
+            reports = [None] * len(databases)
+            errors = []
+
+            def run(index: int, db: SequenceDatabase) -> None:
+                try:
+                    reports[index] = mine(db, 2, observe=True).report
+                except Exception as exc:  # propagated to the main thread
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(i, db))
+                for i, db in enumerate(databases)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert errors == []
+            for report, baseline in zip(reports, baselines):
+                assert report is not None
+                assert counters(report.metrics) == counters(baseline)
