@@ -21,6 +21,7 @@ Quickstart
 2
 """
 
+from repro.core.checkpoint import MiningCheckpoint
 from repro.core.sequence import Sequence
 from repro.db.database import SequenceDatabase
 from repro.mining.api import mine
@@ -28,4 +29,11 @@ from repro.mining.result import MiningResult
 
 __version__ = "1.0.0"
 
-__all__ = ["Sequence", "SequenceDatabase", "mine", "MiningResult", "__version__"]
+__all__ = [
+    "Sequence",
+    "SequenceDatabase",
+    "mine",
+    "MiningResult",
+    "MiningCheckpoint",
+    "__version__",
+]

@@ -16,6 +16,9 @@ machine-checked static property:
 * **DISC005** — mining code paths never swallow exceptions silently;
 * **DISC006** — ``core/`` reports telemetry only through the no-op-able
   :mod:`repro.obs` API, never via ``print`` or ``logging``;
+* **DISC007** — failure injection goes only through the
+  :mod:`repro.faults` API; ad-hoc ``if TESTING:``-style branches and
+  direct fault-flag environment probes are banned;
 * **LINT001** — suppression comments must name a registered rule.
 
 Suppress any rule on one line with ``# repro: allow[RULEID]`` (same line
@@ -382,6 +385,89 @@ class ObservabilityThroughObsApi(Rule):
                     "repro.obs instead (its no-op default keeps the "
                     "uninstrumented hot path allocation-free)",
                 )
+
+
+#: Name fragments (``_``-separated tokens) that mark a fault/test flag.
+_FAULT_FLAG_TOKENS = frozenset({"TESTING", "FAULT", "FAULTS", "CHAOS"})
+
+
+def _is_fault_flag_name(name: str) -> bool:
+    """True for ALL-UPPERCASE names like TESTING or ENABLE_FAULTS.
+
+    Token-wise matching avoids false positives on names that merely
+    contain a fragment (``DEFAULT`` is not ``FAULT``).
+    """
+    if not name.isupper():
+        return False
+    return bool(set(name.split("_")) & _FAULT_FLAG_TOKENS)
+
+
+def _env_lookup_key(node: ast.AST) -> ast.expr | None:
+    """The key expression of an ``os.environ`` / ``os.getenv`` lookup."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        # os.getenv(KEY) / os.environ.get(KEY)
+        is_getenv = func.attr == "getenv"
+        is_environ_get = (
+            func.attr == "get"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "environ"
+        )
+        if (is_getenv or is_environ_get) and node.args:
+            return node.args[0]
+        return None
+    if isinstance(node, ast.Subscript):
+        # os.environ[KEY]
+        if isinstance(node.value, ast.Attribute) and node.value.attr == "environ":
+            return node.slice
+    return None
+
+
+@register
+class FaultsOnlyThroughFaultsApi(Rule):
+    """DISC007: failure injection only through the repro.faults API."""
+
+    rule_id = "DISC007"
+    title = "failure injection must go through the repro.faults API"
+    rationale = (
+        "Crash-recovery guarantees are only as good as the faults they "
+        "were tested against.  repro.faults makes injection deterministic "
+        "(seeded, replayable, inert when disarmed) and auditable (every "
+        "site is a named fault_point).  An ad-hoc 'if TESTING:' branch or "
+        "a direct fault-flag environment probe is neither: it ships "
+        "test-only control flow nobody can enumerate, arm deterministically "
+        "or prove disabled in production."
+    )
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> None:
+        if ctx.rel_path == "faults.py":
+            return  # the sanctioned implementation itself
+        if isinstance(node, ast.If):
+            for inner in iter_subtree(node.test):
+                if isinstance(inner, ast.Name) and _is_fault_flag_name(inner.id):
+                    ctx.report(
+                        self,
+                        inner,
+                        f"ad-hoc fault/test flag {inner.id!r} guards a code "
+                        "branch; inject failures through a named "
+                        "repro.faults.fault_point(...) site instead",
+                    )
+        key = _env_lookup_key(node)
+        if (
+            key is not None
+            and isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and _is_fault_flag_name(key.value.upper())
+        ):
+            ctx.report(
+                self,
+                node,
+                f"direct environment probe for fault flag {key.value!r}; "
+                "only repro.faults reads the fault-injection environment "
+                "(arm a FaultPlan and use fault_point sites)",
+            )
 
 
 @register

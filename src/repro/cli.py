@@ -13,6 +13,7 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 from pathlib import Path
@@ -235,13 +236,33 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import MiningService
+    import repro.faults as faults
+    from repro.service import JobJournal, MiningService, RetryPolicy
     from repro.service.http import make_server
+
+    if args.faults:
+        faults.arm(faults.FaultPlan.from_spec(args.faults, seed=args.faults_seed))
+        print(f"fault injection armed: {args.faults}")
+    else:
+        plan = faults.plan_from_env(os.environ)
+        if plan is not None:
+            faults.arm(plan)
+            print(f"fault injection armed from {faults.ENV_SPEC}")
+
+    journal = None
+    if args.journal:
+        journal_path = Path(args.journal)
+        if journal_path.is_dir():
+            journal_path = journal_path / "jobs.jsonl"
+        journal = JobJournal(journal_path)
+        print(f"journaling jobs to {journal_path}")
 
     service = MiningService(
         workers=args.workers,
         queue_size=args.queue_size,
         cache_entries=args.cache_entries,
+        journal=journal,
+        retry_policy=RetryPolicy(max_retries=args.max_retries),
     )
     for path in args.databases:
         name = "stdin" if path == "-" else Path(path).stem
@@ -252,6 +273,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"registered {name}: {len(db)} sequences, "
             f"digest {entry.digest[:12]}{note}"
         )
+    if journal is not None:
+        # Recovery runs after database registration so interrupted jobs
+        # can be matched against their database by name and digest.
+        summary = service.recover()
+        if any(summary.values()):
+            print(
+                "recovery: "
+                f"{summary['resumed']} resumed, "
+                f"{summary['restarted']} restarted, "
+                f"{summary['failed']} failed, "
+                f"{summary['corrupt_lines']} corrupt journal lines"
+            )
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"repro service listening on http://{host}:{port}")
@@ -426,6 +459,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="submission queue bound (beyond it: 429)")
     serve.add_argument("--cache-entries", type=int, default=128,
                        help="result-cache entry budget (0 disables caching)")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="append-only job journal (JSONL); on startup "
+                            "interrupted jobs are recovered from it")
+    serve.add_argument("--max-retries", type=int, default=2,
+                       help="retries per job for retryable failures")
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help="arm deterministic fault injection, e.g. "
+                            "'disc.round:3,journal.fsync:p0.01' "
+                            "(default: read REPRO_FAULTS)")
+    serve.add_argument("--faults-seed", type=int, default=0,
+                       help="seed for probabilistic fault rules")
     serve.set_defaults(func=_cmd_serve)
 
     return parser

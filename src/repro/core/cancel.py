@@ -5,8 +5,17 @@ deadline.  Long-running miners call :meth:`CancelToken.checkpoint` at
 their natural round boundaries (DISC-all does so between first-level
 partitions and between per-k discovery rounds); a cancelled or expired
 token makes the checkpoint raise
-:class:`~repro.exceptions.OperationCancelledError`, unwinding the run at
+:class:`~repro.exceptions.OperationCancelledError`, stopping the run at
 the next boundary instead of mid-comparison.
+
+Stopping does not mean losing the work.  The same boundaries feed the
+checkpoint layer (:mod:`repro.core.checkpoint`): :func:`repro.mine`
+converts the unwind into a partial
+:class:`~repro.mining.result.MiningResult` — ``complete=False``,
+carrying every pattern from completed rounds plus a resume checkpoint —
+so a deadline or cancellation yields resumable progress, not nothing.
+Only the lower-level miners, called directly without a recorder, still
+surface the raw exception.
 
 The active token lives in a context variable, mirroring the
 :mod:`repro.obs` design: the default is a shared never-cancelled token

@@ -1,0 +1,347 @@
+"""Mining checkpoints: resumable snapshots of a levelwise DISC run.
+
+DISC is levelwise — first-level partitions, then one discovery round per
+pattern length ``k`` — and the miners already pause at every boundary to
+poll the cancel token (:mod:`repro.core.cancel`).  This module turns
+those same boundaries into snapshot points: a
+:class:`CheckpointRecorder` rides along with a run and, at each
+boundary, advances a watermark over the output pattern dict; a
+:class:`MiningCheckpoint` captured from the watermark holds exactly the
+patterns of completed work plus a fingerprint of the run that produced
+it.
+
+The watermark trick is what keeps recording cheap and resume exact.
+Every pattern is written exactly once per run (first-level partitions
+are disjoint by minimum item; within a partition, per-k rounds write
+disjoint keys), and every written support value is already final — so
+"completed work" is simply the first *N* insertion-ordered entries of
+the output dict, and a boundary costs one ``len()``.  Resuming seeds the
+output with those entries, skips completed partitions outright, and
+re-runs the interrupted partition from scratch; the rerun rewrites
+identical values, so a resumed run's final pattern set is byte-identical
+to an uninterrupted one.
+
+A checkpoint only fits the run it came from.  Its
+:class:`CheckpointIdentity` — database digest, delta, algorithm, options
+fingerprint — is validated on resume and any mismatch raises
+:class:`~repro.exceptions.CheckpointMismatchError`: resuming across a
+changed database or threshold would silently produce wrong patterns.
+
+Like the cancel token, the active recorder is ambient state scoped with
+a context manager (:func:`recording_scope`); the default
+:data:`NOOP_RECORDER` makes uninstrumented runs free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.core.sequence import RawSequence, canonical
+from repro.exceptions import CheckpointMismatchError, DataFormatError
+
+#: Serialization format marker and version for checkpoint payloads.
+CHECKPOINT_FORMAT = "repro.mining-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def options_fingerprint(options: Mapping[str, Any]) -> str:
+    """A stable digest of miner options, for checkpoint identity.
+
+    Options are JSON-serialized with sorted keys so dict ordering and
+    insertion history cannot change the fingerprint.
+    """
+    payload = json.dumps(
+        # repro: allow[DISC002] — option names are strings, not sequences
+        {str(key): options[key] for key in sorted(options)},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointIdentity:
+    """The fingerprint tying a checkpoint to one exact run configuration."""
+
+    database_digest: str
+    delta: int
+    algorithm: str
+    options_fingerprint: str
+
+    def mismatch(self, other: "CheckpointIdentity") -> str | None:
+        """Human-readable description of the first differing field, if any."""
+        if self.database_digest != other.database_digest:
+            return (
+                f"database digest {other.database_digest[:12]}… does not "
+                f"match checkpoint digest {self.database_digest[:12]}…"
+            )
+        if self.delta != other.delta:
+            return f"delta {other.delta} does not match checkpoint delta {self.delta}"
+        if self.algorithm != other.algorithm:
+            return (
+                f"algorithm {other.algorithm!r} does not match checkpoint "
+                f"algorithm {self.algorithm!r}"
+            )
+        if self.options_fingerprint != other.options_fingerprint:
+            return "miner options do not match the checkpoint's options"
+        return None
+
+
+def _pattern_sort_key(entry: tuple[RawSequence, int]) -> RawSequence:
+    return entry[0]
+
+
+@dataclass(frozen=True, slots=True)
+class MiningCheckpoint:
+    """A resumable snapshot of a partially-completed mining run.
+
+    ``patterns`` holds every frequent sequence discovered by *completed*
+    boundaries only — each with its final support count.
+    ``completed_partitions`` lists the first-level minimum items whose
+    partitions finished entirely; ``completed_k`` is the highest pattern
+    length whose round completed inside the partition that was running
+    when the snapshot was taken (0 when between partitions).
+    """
+
+    identity: CheckpointIdentity
+    completed_partitions: tuple[int, ...] = ()
+    completed_k: int = 0
+    patterns: Mapping[RawSequence, int] = field(default_factory=dict)
+
+    def matches(self, identity: CheckpointIdentity) -> bool:
+        """Whether this checkpoint fits a run with *identity*."""
+        return self.identity.mismatch(identity) is None
+
+    def validate_for(self, identity: CheckpointIdentity) -> None:
+        """Raise :class:`CheckpointMismatchError` unless identities match."""
+        reason = self.identity.mismatch(identity)
+        if reason is not None:
+            raise CheckpointMismatchError(f"cannot resume: {reason}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable payload (see :data:`CHECKPOINT_FORMAT`)."""
+        patterns = sorted(self.patterns.items(), key=_pattern_sort_key)
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "database_digest": self.identity.database_digest,
+            "delta": self.identity.delta,
+            "algorithm": self.identity.algorithm,
+            "options_fingerprint": self.identity.options_fingerprint,
+            "completed_partitions": list(self.completed_partitions),
+            "completed_k": self.completed_k,
+            "patterns": [
+                [[list(itemset) for itemset in seq], count]
+                for seq, count in patterns
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MiningCheckpoint":
+        """Rebuild a checkpoint from :meth:`to_dict` output."""
+        if not isinstance(payload, Mapping):
+            raise DataFormatError("checkpoint payload must be an object")
+        if payload.get("format") != CHECKPOINT_FORMAT:
+            raise DataFormatError(
+                f"not a mining checkpoint: format={payload.get('format')!r}"
+            )
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise DataFormatError(
+                f"unsupported checkpoint version {version!r} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        try:
+            identity = CheckpointIdentity(
+                database_digest=str(payload["database_digest"]),
+                delta=int(payload["delta"]),
+                algorithm=str(payload["algorithm"]),
+                options_fingerprint=str(payload["options_fingerprint"]),
+            )
+            completed_partitions = tuple(
+                int(item) for item in payload["completed_partitions"]
+            )
+            completed_k = int(payload["completed_k"])
+            patterns: dict[RawSequence, int] = {}
+            for entry in payload["patterns"]:
+                raw_seq, count = entry
+                patterns[canonical(raw_seq)] = int(count)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataFormatError(f"malformed checkpoint payload: {exc}") from exc
+        return cls(
+            identity=identity,
+            completed_partitions=completed_partitions,
+            completed_k=completed_k,
+            patterns=patterns,
+        )
+
+    def to_json(self) -> str:
+        """Serialize to a compact JSON string."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "MiningCheckpoint":
+        """Parse a checkpoint from :meth:`to_json` output."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DataFormatError(f"checkpoint is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+
+#: Callback fed freshly captured checkpoints at every completed boundary.
+CheckpointSink = Callable[[MiningCheckpoint], None]
+
+
+class CheckpointRecorder:
+    """Rides along with one mining run, snapshotting at round boundaries.
+
+    The miner calls :meth:`attach` once its output dict exists (seeding
+    any resumed patterns), :meth:`should_skip` before each first-level
+    partition, and :meth:`partition_done` / :meth:`round_done` at the
+    existing cancel-checkpoint boundaries.  :meth:`capture` builds a
+    :class:`MiningCheckpoint` from the watermark prefix of the output.
+
+    Not thread-safe by design: one recorder belongs to one run, and the
+    parallel coordinator only records on the coordinating thread.
+    """
+
+    def __init__(
+        self,
+        resume_from: MiningCheckpoint | None = None,
+        sink: CheckpointSink | None = None,
+    ) -> None:
+        self._resume = resume_from
+        self._sink = sink
+        self._patterns: dict[RawSequence, int] | None = None
+        self._watermark = 0
+        self._completed_partitions: list[int] = []
+        self._completed_k = 0
+        self._sink_identity: CheckpointIdentity | None = None
+        if resume_from is not None:
+            self._completed_partitions.extend(resume_from.completed_partitions)
+
+    @property
+    def attached(self) -> bool:
+        """Whether a run has attached its output dict yet."""
+        return self._patterns is not None
+
+    @property
+    def completed_k(self) -> int:
+        """Highest completed round length in the current partition."""
+        return self._completed_k
+
+    @property
+    def completed_partitions(self) -> tuple[int, ...]:
+        """First-level minimum items whose partitions completed."""
+        return tuple(self._completed_partitions)
+
+    def attach(self, patterns: dict[RawSequence, int]) -> None:
+        """Bind the run's output dict; seeds resumed patterns into it.
+
+        Must be called before any boundary notification, after the miner
+        has written its 1-sequences (resumed patterns are inserted
+        first, so the watermark prefix stays a pure insertion-order
+        prefix).
+        """
+        if self._resume is not None and self._resume.patterns:
+            seeded = dict(self._resume.patterns)
+            seeded.update(patterns)
+            patterns.clear()
+            patterns.update(seeded)
+        self._patterns = patterns
+        self._watermark = len(patterns)
+
+    def should_skip(self, minimum_item: int) -> bool:
+        """Whether the first-level partition of *minimum_item* is done."""
+        return minimum_item in self._completed_partitions
+
+    def round_done(self, k: int) -> None:
+        """Mark the per-``k`` discovery round complete; advance watermark."""
+        if self._patterns is None:
+            return
+        self._watermark = len(self._patterns)
+        self._completed_k = k
+        self._emit()
+
+    def partition_done(self, minimum_item: int) -> None:
+        """Mark a first-level partition complete; advance watermark."""
+        if self._patterns is None:
+            return
+        self._watermark = len(self._patterns)
+        if minimum_item not in self._completed_partitions:
+            self._completed_partitions.append(minimum_item)
+        self._completed_k = 0
+        self._emit()
+
+    def capture(self, identity: CheckpointIdentity) -> MiningCheckpoint:
+        """Snapshot completed work as a :class:`MiningCheckpoint`."""
+        patterns: dict[RawSequence, int] = {}
+        if self._patterns is not None:
+            patterns = dict(islice(self._patterns.items(), self._watermark))
+        return MiningCheckpoint(
+            identity=identity,
+            completed_partitions=tuple(self._completed_partitions),
+            completed_k=self._completed_k,
+            patterns=patterns,
+        )
+
+    def _emit(self) -> None:
+        if self._sink is None:
+            return
+        identity = self._sink_identity
+        if identity is not None:
+            self._sink(self.capture(identity))
+
+    def bind_identity(self, identity: CheckpointIdentity) -> None:
+        """Set the identity stamped onto sink-emitted checkpoints."""
+        self._sink_identity = identity
+
+
+class _NoopRecorder(CheckpointRecorder):
+    """Shared default recorder: every notification is a cheap no-op."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def attach(self, patterns: dict[RawSequence, int]) -> None:
+        pass
+
+    def should_skip(self, minimum_item: int) -> bool:
+        return False
+
+    def round_done(self, k: int) -> None:
+        pass
+
+    def partition_done(self, minimum_item: int) -> None:
+        pass
+
+
+#: Shared inert recorder used when no recording scope is active.
+NOOP_RECORDER = _NoopRecorder()
+
+_ACTIVE_RECORDER: ContextVar[CheckpointRecorder] = ContextVar(
+    "repro_checkpoint_recorder", default=NOOP_RECORDER
+)
+
+
+def active_recorder() -> CheckpointRecorder:
+    """The recorder for the current context (the no-op one by default)."""
+    return _ACTIVE_RECORDER.get()
+
+
+@contextmanager
+def recording_scope(recorder: CheckpointRecorder) -> Iterator[CheckpointRecorder]:
+    """Make *recorder* the ambient recorder within a ``with`` block."""
+    handle = _ACTIVE_RECORDER.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _ACTIVE_RECORDER.reset(handle)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import ClassVar, Iterable
 
 from repro.core.cancel import active_token
+from repro.core.checkpoint import active_recorder
 from repro.core.counting import CountingArray, count_frequent_items
 from repro.core.disc import discover_frequent_k
 from repro.core.kminimum import SortedFrequentList
@@ -39,6 +40,7 @@ from repro.core.partition import (
     reduce_sequence,
 )
 from repro.core.sequence import RawSequence, seq_length
+from repro.faults import fault_point
 from repro.obs import (
     MetricsRegistry,
     Observation,
@@ -148,18 +150,27 @@ def _disc_all(
         out.patterns[((item,),)] = count
     item_set = frozenset(frequent_items)
 
-    # Steps 1(b)-2.2: first-level partitions in ascending order.
+    # Steps 1(b)-2.2: first-level partitions in ascending order.  The
+    # checkpoint recorder snapshots at the same boundaries the cancel
+    # token polls; on resume it skips partitions a previous run finished
+    # (the generator still reassigns their members to later minima).
     mined = metrics.counter("discall.first_level_mined")
     token = active_token()
+    recorder = active_recorder()
+    recorder.attach(out.patterns)
     for lam, group in iterate_first_level(members):
         if lam not in frequent_items:
             continue  # Step 2.1 guard: mine only frequent partition keys
+        if recorder.should_skip(lam):
+            continue  # already mined by the run this one resumes
         token.checkpoint()
+        fault_point("disc.partition")
         mined.add(1)
         with obs.tracer.span("partition", lam=lam, size=len(group)):
             _process_first_level(
                 lam, group, delta, item_set, bilevel, reduce, backend, out
             )
+        recorder.partition_done(lam)
     out.stats = DiscAllStats.since(metrics, baseline)
     return out
 
@@ -236,9 +247,11 @@ def _process_second_level(
     # Step 2.1.3.2: DISC from k = 4 (stepping by 2 under bi-level).
     rounds = metrics.counter("disc.rounds")
     token = active_token()
+    recorder = active_recorder()
     k = 4
     while frequent_k:
         token.checkpoint()
+        fault_point("disc.round")
         flist = SortedFrequentList(frequent_k)
         eligible = [(cid, seq) for cid, seq in sp_group if seq_length(seq) >= k]
         if len(eligible) < delta:
@@ -254,7 +267,9 @@ def _process_second_level(
             for pattern, count in result.frequent_k_plus_1.items():
                 out.patterns[pattern] = count
             frequent_k = result.frequent_k_plus_1
+            recorder.round_done(k + 1)
             k += 2
         else:
             frequent_k = result.frequent_k
+            recorder.round_done(k)
             k += 1

@@ -20,10 +20,13 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable
 
+from repro.core.cancel import active_token
+from repro.core.checkpoint import active_recorder
 from repro.core.counting import count_frequent_items
 from repro.core.discall import DiscAllOutput, _process_first_level
 from repro.core.partition import Member
 from repro.core.sequence import RawSequence
+from repro.faults import fault_point
 from repro.obs import active
 
 
@@ -65,12 +68,23 @@ def disc_all_parallel(
         out.patterns[((item,),)] = count
     item_set = frozenset(frequent_items)
 
+    # Checkpoint/cancel support mirrors disc_all: the recorder seeds any
+    # resumed patterns, completed partitions are skipped before dispatch,
+    # and the coordinator polls the cancel token between partitions.
+    # Workers record nothing — their contextvars are fresh per process —
+    # so snapshots only ever cover partitions fully merged here.
+    token = active_token()
+    recorder = active_recorder()
+    recorder.attach(out.patterns)
+
     # Direct membership: the partition of lam holds every sequence
     # containing lam (what the reassignment chains produce lazily).
     jobs = []
     job_sizes = obs.metrics.histogram("parallel.job_size")
     # repro: allow[DISC002] — scalar int items, not sequences
     for lam in sorted(frequent_items):
+        if recorder.should_skip(lam):
+            continue  # already mined by the run this one resumes
         group = [
             (cid, seq)
             for cid, seq in members
@@ -85,12 +99,18 @@ def disc_all_parallel(
 
     if processes == 1:
         with obs.tracer.span("parallel.map", jobs=len(jobs), processes=1):
-            for patterns in map(_mine_one_partition, jobs):
-                out.patterns.update(patterns)
+            for job in jobs:
+                token.checkpoint()
+                fault_point("disc.partition")
+                out.patterns.update(_mine_one_partition(job))
+                recorder.partition_done(job[0])
         return out
 
     with obs.tracer.span("parallel.map", jobs=len(jobs), processes=processes):
         with ProcessPoolExecutor(max_workers=processes) as pool:
-            for patterns in pool.map(_mine_one_partition, jobs):
+            for job, patterns in zip(jobs, pool.map(_mine_one_partition, jobs)):
+                token.checkpoint()
+                fault_point("disc.partition")
                 out.patterns.update(patterns)
+                recorder.partition_done(job[0])
     return out

@@ -8,6 +8,7 @@ non-integer items.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from typing import Hashable, Iterable, Iterator
 
@@ -25,7 +26,7 @@ class SequenceDatabase:
     no place in the mining problem.
     """
 
-    __slots__ = ("_sequences", "_vocabulary", "_stats")
+    __slots__ = ("_sequences", "_vocabulary", "_stats", "_digest")
 
     def __init__(
         self,
@@ -40,6 +41,7 @@ class SequenceDatabase:
         self._sequences = seqs
         self._vocabulary = vocabulary
         self._stats: DatabaseStats | None = None
+        self._digest: str | None = None
 
     # -- constructors --------------------------------------------------------
 
@@ -113,6 +115,26 @@ class SequenceDatabase:
         if self._stats is None:
             self._stats = compute_stats(self._sequences)
         return self._stats
+
+    def content_digest(self) -> str:
+        """A stable sha-256 hex digest of the canonical content (cached).
+
+        Hashes the canonical integer sequences (not source file bytes),
+        so the same logical database read from SPMF or paper notation —
+        or re-read with different whitespace — digests identically.
+        Checkpoint fingerprints and service cache keys both rely on it.
+        """
+        if self._digest is None:
+            hasher = hashlib.sha256()
+            for seq in self._sequences:
+                for txn in seq:
+                    hasher.update(b"(")
+                    for item in txn:
+                        hasher.update(b"%d," % item)
+                    hasher.update(b")")
+                hasher.update(b";")
+            self._digest = hasher.hexdigest()
+        return self._digest
 
     # -- support thresholds --------------------------------------------------
 

@@ -38,5 +38,29 @@ class OperationCancelledError(ReproError):
 
     Raised from inside a mining run when the active
     :class:`repro.core.cancel.CancelToken` was cancelled or its deadline
-    passed; the run's partial state is discarded by the caller.
+    passed.  :func:`repro.mine` converts the unwind into a *partial*
+    :class:`~repro.mining.result.MiningResult` (``complete=False``, with
+    the patterns of every completed round and a resume checkpoint); the
+    exception only reaches callers of the lower-level miners, or when no
+    progress was recorded at all.
+    """
+
+
+class CheckpointMismatchError(ReproError):
+    """A resume checkpoint does not fit the run it was offered to.
+
+    The checkpoint's fingerprint (database digest, delta, algorithm,
+    options) must match the new run exactly — resuming across a changed
+    database or threshold would silently produce wrong patterns, so the
+    mismatch is an error, never a warning.
+    """
+
+
+class InjectedFaultError(ReproError):
+    """A deterministically injected fault fired (see :mod:`repro.faults`).
+
+    Only ever raised by an armed :class:`~repro.faults.FaultPlan`; in
+    production (disarmed) runs the fault sites are inert.  The service
+    classifies it as *retryable*, like the infrastructure failures it
+    stands in for.
     """

@@ -79,6 +79,23 @@ STRATEGIES: dict[str, frozenset[str]] = {
 }
 
 
+#: Miners wired to the checkpoint recorder (:mod:`repro.core.checkpoint`):
+#: the DISC-all variants whose partition loops notify round boundaries.
+RESUMABLE_ALGORITHMS = frozenset(
+    {"disc-all", "disc-all-plain", "disc-all-parallel"}
+)
+
+
+def supports_resume(name: str) -> bool:
+    """Whether *name* participates in checkpoint/resume.
+
+    Only resumable miners can honour ``mine(resume_from=...)`` or emit
+    checkpoints; for every other algorithm cancellation still unwinds
+    with :class:`~repro.exceptions.OperationCancelledError`.
+    """
+    return name in RESUMABLE_ALGORITHMS
+
+
 def strategies_of(name: str) -> frozenset[str]:
     """The Table-5 strategies used by a registered algorithm."""
     if name not in _REGISTRY:

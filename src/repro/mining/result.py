@@ -26,19 +26,38 @@ from repro.core.sequence import (
 )
 
 if TYPE_CHECKING:
+    from repro.core.checkpoint import MiningCheckpoint
     from repro.db.vocabulary import Vocabulary
     from repro.obs import RunReport
 
 
 @dataclass(frozen=True)
 class MiningResult:
-    """Frequent sequences of one mining run."""
+    """Frequent sequences of one mining run.
+
+    A result may be *partial*: when a run is cancelled or hits its
+    deadline, :func:`repro.mine` returns the patterns of every completed
+    checkpoint boundary with ``complete=False`` instead of raising.  A
+    partial result carries the resume checkpoint that continues the run
+    (``mine(..., resume_from=result.checkpoint)``) and ``completed_k``,
+    the highest pattern length whose discovery round finished in the
+    partition that was interrupted (0 between partitions).
+    """
 
     patterns: dict[RawSequence, int]
     delta: int
     algorithm: str
     database_size: int
     elapsed_seconds: float = 0.0
+    #: False when the run stopped at a checkpoint boundary; ``patterns``
+    #: then covers completed work only
+    complete: bool = True
+    #: highest fully-discovered pattern length of an interrupted partition
+    completed_k: int = 0
+    #: resume checkpoint of a partial run (None when complete)
+    checkpoint: "MiningCheckpoint | None" = field(
+        default=None, repr=False, compare=False
+    )
     #: instrumentation snapshot; populated by ``mine(observe=True)``
     report: "RunReport | None" = field(default=None, repr=False, compare=False)
     _vocabulary: "Vocabulary | None" = field(default=None, repr=False, compare=False)

@@ -42,6 +42,8 @@ def save_result(
         "delta": result.delta,
         "database_size": result.database_size,
         "elapsed_seconds": result.elapsed_seconds,
+        "complete": result.complete,
+        "completed_k": result.completed_k,
         "patterns": [
             [[list(txn) for txn in raw], count]
             for raw, count in sorted(
@@ -84,6 +86,9 @@ def load_result(source: str | Path | TextIO) -> MiningResult:
             algorithm=str(payload["algorithm"]),
             database_size=int(payload["database_size"]),
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            # defaults keep documents from before partial results loadable
+            complete=bool(payload.get("complete", True)),
+            completed_k=int(payload.get("completed_k", 0)),
             report=report,
         )
     except (KeyError, TypeError, IndexError) as exc:

@@ -22,6 +22,19 @@ or from the shell: ``repro serve demo.spmf --port 8765``.
 """
 
 from repro.service.cache import CacheKey, ResultCache, freeze_options
+from repro.service.journal import (
+    JobJournal,
+    JournalEntry,
+    JournalReplay,
+    replay_journal,
+)
+from repro.service.supervise import (
+    RETRYABLE,
+    TERMINAL,
+    RetryPolicy,
+    backoff_delay,
+    classify,
+)
 from repro.service.errors import (
     ServiceClosedError,
     ServiceError,
@@ -50,6 +63,15 @@ __all__ = [
     "CacheKey",
     "ResultCache",
     "freeze_options",
+    "JobJournal",
+    "JournalEntry",
+    "JournalReplay",
+    "replay_journal",
+    "RETRYABLE",
+    "TERMINAL",
+    "RetryPolicy",
+    "backoff_delay",
+    "classify",
     "ServiceClosedError",
     "ServiceError",
     "ServiceOverloadedError",

@@ -73,6 +73,7 @@ def job_payload(job: Job, top: int | None = None) -> dict[str, object]:
     payload: dict[str, object] = {
         "id": job.id,
         "status": job.state,
+        "attempts": job.attempts,
         "queued_seconds": round(job.queued_seconds(), 6),
         "run_seconds": round(job.run_seconds(), 6),
     }
@@ -98,6 +99,8 @@ def job_payload(job: Job, top: int | None = None) -> dict[str, object]:
             "delta": result.delta,
             "database_size": result.database_size,
             "elapsed_seconds": result.elapsed_seconds,
+            "complete": result.complete,
+            "completed_k": result.completed_k,
             "pattern_count": len(result),
             "patterns": [
                 {"pattern": format_seq(raw), "support": result.patterns[raw]}
@@ -118,17 +121,34 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: object) -> None:
         """Quiet by default: telemetry lives in /metrics, not stderr."""
 
-    def _send_json(self, status: int, payload: dict[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, object],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload, indent=1).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if headers:
+            for name, value in headers.items():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error(self, exc: ReproError) -> None:
         status, payload = _error_payload(exc)
-        self._send_json(status, payload)
+        headers: dict[str, str] | None = None
+        if isinstance(exc, ServiceOverloadedError):
+            # An actionable 429: estimate the wait from the latency
+            # histogram and current queue depth, RFC-9110 Retry-After.
+            hint = self.service.retry_after_hint()
+            headers = {"Retry-After": str(hint)}
+            error = payload.get("error")
+            if isinstance(error, dict):
+                error["retry_after_seconds"] = hint
+        self._send_json(status, payload, headers=headers)
 
     def _read_json(self) -> dict[str, object]:
         length = int(self.headers.get("Content-Length") or 0)

@@ -11,7 +11,6 @@ entries.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from dataclasses import dataclass
 from typing import Iterator
@@ -23,19 +22,11 @@ from repro.service.errors import UnknownDatabaseError
 def database_digest(db: SequenceDatabase) -> str:
     """A stable hex digest of the database *content*.
 
-    Hashes the canonical integer sequences (not the source file bytes),
-    so the same logical database read from SPMF or paper notation — or
-    re-read with different whitespace — digests identically.
+    Delegates to :meth:`SequenceDatabase.content_digest`, which caches —
+    checkpoint fingerprints, cache keys, and journal records all share
+    one digest computation per loaded database.
     """
-    hasher = hashlib.sha256()
-    for seq in db.sequences:
-        for txn in seq:
-            hasher.update(b"(")
-            for item in txn:
-                hasher.update(b"%d," % item)
-            hasher.update(b")")
-        hasher.update(b";")
-    return hasher.hexdigest()
+    return db.content_digest()
 
 
 @dataclass(frozen=True, slots=True)

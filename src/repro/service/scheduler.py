@@ -11,6 +11,15 @@ The scheduler is generic: it knows nothing about mining.  The runner
 callable receives the :class:`Job` and returns the job's result payload;
 the service layer supplies a runner that consults the result cache and
 calls :func:`repro.mine`.
+
+With a :class:`~repro.service.supervise.RetryPolicy` attached, a worker
+whose attempt dies with a *retryable* exception (see
+:func:`~repro.service.supervise.classify`) re-runs the job after a
+capped, jittered backoff instead of failing it; without one (the
+default) the first failure is final, as before.  A *listener* callback
+observes lifecycle transitions (``started`` / ``retry`` / terminal
+state) outside the scheduler lock — the service layer uses it to write
+the durable job journal.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ import queue
 import threading
 import time
 from collections import deque
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.cancel import CancelToken, cancel_scope
 from repro.exceptions import (
@@ -28,12 +37,17 @@ from repro.exceptions import (
     OperationCancelledError,
     ReproError,
 )
+from repro.faults import fault_point
 from repro.obs.metrics import MetricsRegistry, NoopMetricsRegistry
 from repro.service.errors import (
     ServiceClosedError,
     ServiceOverloadedError,
     UnknownJobError,
 )
+from repro.service.supervise import RETRYABLE, RetryPolicy, backoff_delay, classify
+
+if TYPE_CHECKING:
+    from repro.core.checkpoint import MiningCheckpoint
 
 #: Job lifecycle states (terminal: done / failed / cancelled).
 QUEUED = "queued"
@@ -59,6 +73,7 @@ class Job:
     __slots__ = (
         "id", "request", "state", "result", "error", "error_code",
         "token", "submitted_at", "started_at", "finished_at", "done_event",
+        "attempts", "progress",
     )
 
     def __init__(self, job_id: str, request: object, token: CancelToken) -> None:
@@ -73,6 +88,10 @@ class Job:
         self.started_at: float | None = None
         self.finished_at: float | None = None
         self.done_event = threading.Event()
+        #: runner invocations so far (0 until the first start)
+        self.attempts = 0
+        #: freshest mining checkpoint; retries resume from here
+        self.progress: "MiningCheckpoint | None" = None
 
     @property
     def finished(self) -> bool:
@@ -102,6 +121,8 @@ class JobScheduler:
         queue_size: int = 32,
         metrics: MetricsRegistry | None = None,
         job_history: int = 1024,
+        retry_policy: RetryPolicy | None = None,
+        listener: Callable[[Job, str], None] | None = None,
     ) -> None:
         if workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
@@ -110,6 +131,8 @@ class JobScheduler:
                 f"queue_size must be >= 1, got {queue_size}"
             )
         self._runner = runner
+        self._retry_policy = retry_policy
+        self._listener = listener
         self._metrics = metrics if metrics is not None else NoopMetricsRegistry()
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_size)
         self._lock = threading.Lock()
@@ -120,6 +143,8 @@ class JobScheduler:
         self._closed = False
         self._depth = self._metrics.gauge("service.queue_depth")
         self._rejected = self._metrics.counter("service.rejected")
+        self._retries = self._metrics.counter("service.retries")
+        self._listener_errors = self._metrics.counter("service.listener_errors")
         self._latency = self._metrics.histogram(
             "service.job_seconds", bounds=LATENCY_BUCKETS
         )
@@ -135,9 +160,17 @@ class JobScheduler:
     # -- submission ----------------------------------------------------------
 
     def submit(
-        self, request: object, deadline_seconds: float | None = None
+        self,
+        request: object,
+        deadline_seconds: float | None = None,
+        job_id: str | None = None,
     ) -> Job:
-        """Queue *request*; reject immediately when the queue is full."""
+        """Queue *request*; reject immediately when the queue is full.
+
+        *job_id* lets crash recovery re-enqueue a journaled job under
+        its original id, so clients polling across a restart keep
+        working; omitted, a fresh id is generated.
+        """
         token = (
             CancelToken.with_timeout(deadline_seconds)
             if deadline_seconds is not None
@@ -146,7 +179,9 @@ class JobScheduler:
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is shutting down")
-            job = Job(f"j{next(self._ids):06d}", request, token)
+            if job_id is not None and job_id in self._jobs:
+                raise InvalidParameterError(f"job id {job_id!r} already exists")
+            job = Job(job_id or self._generate_id_locked(), request, token)
             try:
                 self._queue.put_nowait(job)
             except queue.Full:
@@ -169,12 +204,32 @@ class JobScheduler:
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is shutting down")
-            job = Job(f"j{next(self._ids):06d}", request, CancelToken())
+            job = Job(self._generate_id_locked(), request, CancelToken())
             self._jobs[job.id] = job
             job.result = result
             job.started_at = job.submitted_at
             self._finish_locked(job, DONE, None, None)
+        self._notify(job, DONE)
         return job
+
+    def _generate_id_locked(self) -> str:
+        """A fresh job id, skipping any explicitly-submitted ones."""
+        while True:
+            job_id = f"j{next(self._ids):06d}"
+            if job_id not in self._jobs:
+                return job_id
+
+    def ensure_ids_above(self, floor: int) -> None:
+        """Never generate ids numbered <= *floor* (recovery support).
+
+        Recovery replays a journal whose finished jobs are gone from the
+        in-memory table; without advancing the counter a new submission
+        could reuse one of their ids and corrupt the journal's per-job
+        history.
+        """
+        with self._lock:
+            current = next(self._ids) - 1
+            self._ids = itertools.count(max(current, floor) + 1)
 
     def get(self, job_id: str) -> Job:
         """The job with *job_id*; raises :class:`UnknownJobError`."""
@@ -198,10 +253,15 @@ class JobScheduler:
         stops at its next checkpoint; a finished job is left untouched.
         """
         job = self.get(job_id)
+        finished_here = False
         with self._lock:
             if job.state == QUEUED:
-                self._finish_locked(job, CANCELLED, reason, "cancelled")
-                return job
+                finished_here = self._finish_locked(
+                    job, CANCELLED, reason, "cancelled"
+                )
+        if finished_here:
+            self._notify(job, CANCELLED)
+            return job
         if not job.finished:
             job.token.cancel(reason)
         return job
@@ -235,11 +295,14 @@ class JobScheduler:
                 except queue.Empty:
                     break
                 if isinstance(item, Job):
+                    changed = False
                     with self._lock:
                         if item.state == QUEUED:
-                            self._finish_locked(
+                            changed = self._finish_locked(
                                 item, CANCELLED, "service shutdown", "shutdown"
                             )
+                    if changed:
+                        self._notify(item, CANCELLED)
         for _ in self._workers:
             self._queue.put(_SENTINEL)
         for worker in self._workers:
@@ -267,37 +330,102 @@ class JobScheduler:
             if job.state != QUEUED:
                 return  # cancelled while waiting in the queue
             if job.token.cancelled():
-                self._finish_locked(
+                changed = self._finish_locked(
                     job, CANCELLED, "deadline exceeded before start", "deadline"
                 )
+            else:
+                changed = False
+                job.state = RUNNING
+                job.started_at = time.monotonic()
+        if job.finished:
+            if changed:
+                self._notify(job, CANCELLED)
+            return
+        while True:
+            job.attempts += 1
+            self._notify(job, "started")
+            try:
+                with cancel_scope(job.token):
+                    fault_point("worker.crash")
+                    result = self._runner(job)
+            except OperationCancelledError as exc:
+                code = "deadline" if "deadline" in job.token.reason else "cancelled"
+                self._finish(job, CANCELLED, str(exc), code)
                 return
-            job.state = RUNNING
-            job.started_at = time.monotonic()
+            except Exception as exc:  # keep the worker alive on runner bugs
+                if self._retry_allowed(job, exc):
+                    self._retries.add(1)
+                    self._notify(job, "retry")
+                    if self._backoff_wait(job, backoff_delay(
+                        job.attempts, self._retry_policy  # type: ignore[arg-type]
+                    )):
+                        self._finish(
+                            job, CANCELLED,
+                            job.token.reason or "cancelled during retry backoff",
+                            "cancelled",
+                        )
+                        return
+                    continue
+                if isinstance(exc, ReproError):
+                    self._finish(job, FAILED, str(exc), "error")
+                else:
+                    self._finish(
+                        job, FAILED, f"{type(exc).__name__}: {exc}", "internal"
+                    )
+                return
+            else:
+                job.result = result
+                self._finish(job, DONE, None, None)
+                return
+
+    def _retry_allowed(self, job: Job, exc: BaseException) -> bool:
+        policy = self._retry_policy
+        return (
+            policy is not None
+            and classify(exc) == RETRYABLE
+            and job.attempts <= policy.max_retries
+            and not self._closed
+            and not job.token.cancelled()
+        )
+
+    def _backoff_wait(self, job: Job, delay: float) -> bool:
+        """Sleep *delay* seconds in slices; True when interrupted."""
+        end = time.monotonic() + delay
+        while True:
+            if self._closed or job.token.cancelled():
+                return True
+            remaining = end - time.monotonic()
+            if remaining <= 0:
+                return False
+            time.sleep(min(0.05, remaining))
+
+    def _notify(self, job: Job, event: str) -> None:
+        """Invoke the lifecycle listener outside the scheduler lock.
+
+        Listener failures must never take a worker down or wedge a job,
+        so they are swallowed here — but counted, because a failing
+        journal is an operational problem someone needs to see.
+        """
+        if self._listener is None:
+            return
         try:
-            with cancel_scope(job.token):
-                result = self._runner(job)
-        except OperationCancelledError as exc:
-            code = "deadline" if "deadline" in job.token.reason else "cancelled"
-            self._finish(job, CANCELLED, str(exc), code)
-        except ReproError as exc:
-            self._finish(job, FAILED, str(exc), "error")
-        except Exception as exc:  # keep the worker alive on runner bugs
-            self._finish(job, FAILED, f"{type(exc).__name__}: {exc}", "internal")
-        else:
-            job.result = result
-            self._finish(job, DONE, None, None)
+            self._listener(job, event)
+        except Exception:
+            self._listener_errors.add(1)
 
     def _finish(
         self, job: Job, state: str, error: str | None, code: str | None
     ) -> None:
         with self._lock:
-            self._finish_locked(job, state, error, code)
+            changed = self._finish_locked(job, state, error, code)
+        if changed:
+            self._notify(job, state)
 
     def _finish_locked(
         self, job: Job, state: str, error: str | None, code: str | None
-    ) -> None:
+    ) -> bool:
         if job.finished:
-            return
+            return False
         job.state = state
         job.error = error
         job.error_code = code
@@ -311,3 +439,4 @@ class JobScheduler:
             removed = self._jobs.get(stale)
             if removed is not None and removed.finished:
                 del self._jobs[stale]
+        return True

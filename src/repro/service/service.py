@@ -7,29 +7,59 @@ database once, resolves every submission to a cache key
 the LRU cache, and schedules misses onto the worker pool under
 admission control.
 
+Fault tolerance is layered on top when a :class:`JobJournal` is
+attached: submissions are journaled before the caller sees the job id,
+resumable runs journal a checkpoint at every completed first-level
+partition, and :meth:`recover` replays the journal on startup —
+re-enqueueing interrupted jobs from their last checkpoint under their
+original ids, and failing unresumable ones with a reason.  A
+:class:`~repro.service.supervise.RetryPolicy` makes workers retry
+retryable failures, resuming from the job's freshest checkpoint so a
+retry repeats only the interrupted partition.
+
 Telemetry shares the :mod:`repro.obs` vocabulary: the service owns a
 live :class:`MetricsRegistry` holding ``service.queue_depth``,
 ``service.cache_hits`` / ``service.cache_misses`` / ``service.rejected``,
-the ``service.job_seconds`` latency histogram — and, merged in from each
-completed job's :class:`RunReport`, the cumulative mining counters
-(``disc.rounds``, ``disc.comparisons``, ...), so server telemetry and
-``repro bench`` trajectories read the same names.
+``service.retries`` / ``service.recovered_jobs`` /
+``service.partial_results``, the ``service.job_seconds`` latency
+histogram — and, merged in from each completed job's
+:class:`RunReport`, the cumulative mining counters (``disc.rounds``,
+``disc.comparisons``, ...), so server telemetry and ``repro bench``
+trajectories read the same names.
 """
 
 from __future__ import annotations
 
+import math
 import threading
-from dataclasses import dataclass
-from typing import Mapping
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
 
+from repro.core.checkpoint import MiningCheckpoint
 from repro.db.database import SequenceDatabase
-from repro.mining.api import mine
-from repro.mining.registry import get_algorithm
+from repro.exceptions import CheckpointMismatchError, DataFormatError
+from repro.mining.api import mine, run_identity
+from repro.mining.registry import get_algorithm, supports_resume
 from repro.mining.result import MiningResult
 from repro.obs import MetricsRegistry, RunReport
 from repro.service.cache import CacheKey, FrozenOptions, ResultCache, freeze_options
+from repro.service.errors import UnknownDatabaseError
+from repro.service.journal import (
+    JobJournal,
+    JournalEntry,
+    JournalReplay,
+    replay_journal,
+)
 from repro.service.registry import DatabaseRegistry, RegisteredDatabase
-from repro.service.scheduler import Job, JobScheduler
+from repro.service.scheduler import (
+    LATENCY_BUCKETS,
+    TERMINAL_STATES,
+    Job,
+    JobScheduler,
+)
+
+if TYPE_CHECKING:
+    from repro.service.supervise import RetryPolicy
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,6 +72,12 @@ class MineRequest:
     delta: int
     algorithm: str
     options: FrozenOptions
+    #: checkpoint a recovered job resumes from (excluded from identity:
+    #: a resumed request is the *same* request, and checkpoints are not
+    #: hashable anyway)
+    resume_from: MiningCheckpoint | None = field(
+        default=None, compare=False, hash=False
+    )
 
     def cache_key(self) -> CacheKey:
         return CacheKey(self.digest, self.delta, self.algorithm, self.options)
@@ -64,19 +100,32 @@ class MiningService:
         queue_size: int = 32,
         cache_entries: int = 128,
         job_history: int = 1024,
+        journal: JobJournal | None = None,
+        retry_policy: "RetryPolicy | None" = None,
     ) -> None:
         self.metrics = MetricsRegistry()
         self.registry = DatabaseRegistry()
         self.cache = ResultCache(cache_entries)
+        self.journal = journal
+        self._workers = workers
         self._merge_lock = threading.Lock()
         self._cache_hits = self.metrics.counter("service.cache_hits")
         self._cache_misses = self.metrics.counter("service.cache_misses")
+        self._recovered = self.metrics.counter("service.recovered_jobs")
+        self._partials = self.metrics.counter("service.partial_results")
+        #: ids of jobs this process journaled an "accepted" record for;
+        #: lifecycle events of any other job (cache hits, pre-journal
+        #: submissions) are not journaled
+        self._journaled: set[str] = set()
+        self._journaled_lock = threading.Lock()
         self.scheduler = JobScheduler(
             self._run_job,
             workers=workers,
             queue_size=queue_size,
             metrics=self.metrics,
             job_history=job_history,
+            retry_policy=retry_policy,
+            listener=self._on_job_event if journal is not None else None,
         )
 
     # -- databases -----------------------------------------------------------
@@ -132,7 +181,33 @@ class MiningService:
             with self._merge_lock:
                 self._cache_hits.add(1)
             return job
-        return self.scheduler.submit(request, deadline_seconds=deadline_seconds)
+        return self._submit_request(request, deadline_seconds)
+
+    def _submit_request(
+        self,
+        request: MineRequest,
+        deadline_seconds: float | None,
+        job_id: str | None = None,
+    ) -> Job:
+        """Enqueue a cache-missing request and journal its acceptance."""
+        job = self.scheduler.submit(
+            request, deadline_seconds=deadline_seconds, job_id=job_id
+        )
+        if self.journal is not None:
+            with self._journaled_lock:
+                self._journaled.add(job.id)
+            self.journal.append(
+                "accepted",
+                job.id,
+                database=request.database,
+                digest=request.digest,
+                delta=request.delta,
+                algorithm=request.algorithm,
+                options=dict(request.options),
+                deadline_seconds=deadline_seconds,
+                resumed=request.resume_from is not None,
+            )
+        return job
 
     def job(self, job_id: str) -> Job:
         """Look a job up by id."""
@@ -142,7 +217,147 @@ class MiningService:
         """Block until a job finishes (test and CLI convenience)."""
         return self.scheduler.wait(job_id, timeout)
 
+    # -- crash recovery ------------------------------------------------------
+
+    def recover(self) -> dict[str, int]:
+        """Replay the journal and re-enqueue interrupted jobs.
+
+        Call once at startup, after registering databases and before
+        serving traffic.  For each job the journal never saw finish:
+
+        - its database is gone or its content digest changed → the job
+          is journaled ``failed`` with an ``unresumable`` code (mining a
+          different database than the client asked for would be worse
+          than failing);
+        - its stored checkpoint is missing, malformed, or does not
+          fingerprint-match the run → the job restarts from scratch;
+        - otherwise it resumes from the checkpoint, skipping completed
+          partitions, under its **original job id** so clients polling
+          across the restart keep working.
+
+        Returns a summary: ``resumed`` / ``restarted`` / ``failed`` job
+        counts plus ``corrupt_lines`` skipped during replay.
+        """
+        summary = {"resumed": 0, "restarted": 0, "failed": 0, "corrupt_lines": 0}
+        if self.journal is None:
+            return summary
+        replay = replay_journal(self.journal.path)
+        summary["corrupt_lines"] = replay.corrupt_lines
+        self.scheduler.ensure_ids_above(_highest_job_number(replay))
+        for entry in replay.interrupted():
+            if self._recover_one(entry):
+                summary["resumed" if entry.checkpoint is not None else
+                        "restarted"] += 1
+            else:
+                summary["failed"] += 1
+        return summary
+
+    def _recover_one(self, entry: JournalEntry) -> bool:
+        """Re-enqueue one interrupted journal entry; False when failed."""
+        accepted = entry.accepted
+        if accepted is None:
+            self._journal_unresumable(
+                entry, "journal has no accepted record for this job"
+            )
+            return False
+        try:
+            registered = self.registry.get(str(accepted.get("database")))
+        except UnknownDatabaseError:
+            self._journal_unresumable(
+                entry,
+                f"database {accepted.get('database')!r} is not registered",
+            )
+            return False
+        if registered.digest != accepted.get("digest"):
+            self._journal_unresumable(
+                entry,
+                f"database {registered.name!r} content changed "
+                "since the job was accepted",
+            )
+            return False
+        try:
+            delta = int(accepted["delta"])
+            algorithm = str(accepted["algorithm"])
+            raw_options = accepted.get("options") or {}
+            options = freeze_options(
+                raw_options if isinstance(raw_options, dict) else {}
+            )
+            raw_deadline = accepted.get("deadline_seconds")
+            deadline = float(raw_deadline) if raw_deadline is not None else None
+        except (KeyError, TypeError, ValueError):
+            self._journal_unresumable(entry, "accepted record is malformed")
+            return False
+        checkpoint = self._usable_checkpoint(
+            entry, registered.db, delta, algorithm, dict(options)
+        )
+        if checkpoint is None:
+            entry.checkpoint = None  # downgraded to a from-scratch restart
+        request = MineRequest(
+            database=registered.name,
+            digest=registered.digest,
+            db=registered.db,
+            delta=delta,
+            algorithm=algorithm,
+            options=options,
+            resume_from=checkpoint,
+        )
+        self._submit_request(request, deadline, job_id=entry.job_id)
+        with self._merge_lock:
+            self._recovered.add(1)
+        return True
+
+    def _usable_checkpoint(
+        self,
+        entry: JournalEntry,
+        db: SequenceDatabase,
+        delta: int,
+        algorithm: str,
+        options: dict[str, object],
+    ) -> MiningCheckpoint | None:
+        """The entry's checkpoint if it fits the recovered run, else None.
+
+        A bad checkpoint downgrades the job to a from-scratch restart —
+        re-mining is always correct, resuming from the wrong snapshot
+        never is.
+        """
+        payload = entry.checkpoint
+        if payload is None or not supports_resume(algorithm):
+            return None
+        try:
+            checkpoint = MiningCheckpoint.from_dict(payload)
+            checkpoint.validate_for(run_identity(db, delta, algorithm, options))
+        except (DataFormatError, CheckpointMismatchError):
+            return None
+        return checkpoint
+
+    def _journal_unresumable(self, entry: JournalEntry, reason: str) -> None:
+        """Journal a terminal failure for a job that cannot be recovered."""
+        if self.journal is not None:
+            self.journal.append(
+                "finished",
+                entry.job_id,
+                state="failed",
+                error=f"not recoverable after restart: {reason}",
+                code="unresumable",
+                complete=False,
+            )
+
     # -- introspection -------------------------------------------------------
+
+    def retry_after_hint(self) -> int:
+        """Seconds a 429-rejected client should wait before retrying.
+
+        Estimated from the job-latency histogram (average completed-job
+        seconds) scaled by how many jobs stand in line per worker, then
+        clamped to [1, 60] — an honest hint, not a promise.
+        """
+        histogram = self.metrics.histogram(
+            "service.job_seconds", bounds=LATENCY_BUCKETS
+        )
+        average = histogram.total / histogram.count if histogram.count else 1.0
+        waiting = self.scheduler.queue_depth() + 1
+        estimate = average * waiting / max(1, self._workers)
+        return max(1, min(60, math.ceil(estimate)))
 
     def health(self) -> dict[str, object]:
         """Liveness summary for ``GET /healthz``."""
@@ -164,6 +379,8 @@ class MiningService:
     def close(self, drain: bool = True, timeout: float | None = None) -> None:
         """Shut down, draining in-flight jobs unless told otherwise."""
         self.scheduler.close(drain=drain, timeout=timeout)
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "MiningService":
         return self
@@ -183,19 +400,96 @@ class MiningService:
             with self._merge_lock:
                 self._cache_hits.add(1)
             return MineOutcome(cached, cached=True)
+        resumable = supports_resume(request.algorithm)
+        # A retry resumes from the job's freshest checkpoint, falling
+        # back to the one recovery attached (if any).
+        resume_from = job.progress or request.resume_from
+        sink = self._checkpoint_sink(job) if resumable else None
         result = mine(
             request.db,
             request.delta,
             algorithm=request.algorithm,
             observe=True,
+            resume_from=resume_from if resumable else None,
+            checkpoint_to=sink,
             **dict(request.options),
         )
-        self.cache.put(key, result)
+        if result.complete:
+            self.cache.put(key, result)
+        else:
+            # Partial results are real progress but not the answer the
+            # request asked for: never cache them.
+            with self._merge_lock:
+                self._partials.add(1)
         with self._merge_lock:
             self._cache_misses.add(1)
             if result.report is not None:
                 self._absorb_report(result.report)
         return MineOutcome(result, cached=False)
+
+    def _checkpoint_sink(self, job: Job):
+        """A per-job sink journaling partition-boundary checkpoints.
+
+        Every emitted checkpoint refreshes the in-memory ``job.progress``
+        (what an in-process retry resumes from).  Only partition
+        boundaries — where ``completed_k`` resets to 0 and the
+        completed-partition set grew — are made durable, so the journal
+        grows with partitions, not with every discovery round.
+        ``job.progress`` is updated *after* the journal append: if the
+        append dies (crash, injected ``journal.fsync`` fault), the retry
+        resumes from the last checkpoint that is actually durable.
+        """
+        def sink(checkpoint: MiningCheckpoint) -> None:
+            at_partition_boundary = checkpoint.completed_k == 0 and (
+                job.progress is None
+                or len(checkpoint.completed_partitions)
+                > len(job.progress.completed_partitions)
+            )
+            if at_partition_boundary and self.journal is not None:
+                with self._journaled_lock:
+                    journaled = job.id in self._journaled
+                if journaled:
+                    self.journal.append(
+                        "checkpoint",
+                        job.id,
+                        completed_k=checkpoint.completed_k,
+                        partitions=len(checkpoint.completed_partitions),
+                        patterns=len(checkpoint.patterns),
+                        checkpoint=checkpoint.to_dict(),
+                    )
+            job.progress = checkpoint
+
+        return sink
+
+    def _on_job_event(self, job: Job, event: str) -> None:
+        """Scheduler lifecycle listener: journal state transitions."""
+        journal = self.journal
+        if journal is None:
+            return
+        with self._journaled_lock:
+            if job.id not in self._journaled:
+                return
+        if event == "started":
+            journal.append("started", job.id, attempt=job.attempts)
+        elif event == "retry":
+            journal.append(
+                "retry", job.id, attempt=job.attempts,
+                partitions=(
+                    len(job.progress.completed_partitions)
+                    if job.progress is not None else 0
+                ),
+            )
+        elif event in TERMINAL_STATES:
+            complete = True
+            outcome = job.result
+            if isinstance(outcome, MineOutcome):
+                complete = outcome.result.complete
+            journal.append(
+                "finished", job.id, state=event,
+                error=job.error, code=job.error_code, complete=complete,
+            )
+            with self._journaled_lock:
+                self._journaled.discard(job.id)
 
     def _absorb_report(self, report: RunReport) -> None:
         """Merge one job's counters into the cumulative service registry.
@@ -214,3 +508,13 @@ class MiningService:
             labels = entry.get("labels")
             label_map = labels if isinstance(labels, dict) else {}
             self.metrics.counter(name, **label_map).add(value)
+
+
+def _highest_job_number(replay: JournalReplay) -> int:
+    """The largest numeric suffix among journaled job ids (0 when none)."""
+    highest = 0
+    for entry in replay:
+        job_id = entry.job_id
+        if job_id.startswith("j") and job_id[1:].isdigit():
+            highest = max(highest, int(job_id[1:]))
+    return highest

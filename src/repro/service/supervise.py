@@ -1,0 +1,106 @@
+"""Worker supervision: retry classification and backoff (system S27).
+
+A job that dies with an unexpected exception used to fail permanently on
+the first attempt.  Under supervision the scheduler classifies the
+failure and retries the retryable class with capped exponential backoff
+plus deterministic jitter.
+
+Classification is by exception type, never message text:
+
+==========================================  =========  =====================
+exception                                   class      rationale
+==========================================  =========  =====================
+``OperationCancelledError``                 terminal   the caller asked for
+                                                       cancellation; retrying
+                                                       would defy them
+``InjectedFaultError``                      retryable  stands in for the
+                                                       transient infrastructure
+                                                       failures it simulates
+any other ``ReproError``                    terminal   deterministic input /
+                                                       validation failures
+                                                       repeat identically
+anything else (``MemoryError``, bugs, ...)  retryable  unexpected — the crash
+                                                       the supervisor exists
+                                                       for
+==========================================  =========  =====================
+
+Between attempts the scheduler resumes from the job's last recorded
+checkpoint (``Job.progress``), so a retry repeats only the interrupted
+partition, not the whole run.
+
+Jitter is *deterministic*: drawn from a ``random.Random`` seeded with
+``(policy seed, attempt)``, so a retry schedule replays identically
+under test and in post-mortems.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import (
+    InjectedFaultError,
+    InvalidParameterError,
+    OperationCancelledError,
+    ReproError,
+)
+
+#: Classification outcomes of :func:`classify`.
+RETRYABLE = "retryable"
+TERMINAL = "terminal"
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How many times, and how patiently, failed attempts are retried."""
+
+    #: retries after the first attempt (0 disables retrying)
+    max_retries: int = 2
+    #: backoff before retry n is ``base_delay * 2**(n-1)``, capped
+    base_delay: float = 0.1
+    max_delay: float = 5.0
+    #: jitter adds up to this fraction of the computed backoff
+    jitter: float = 0.1
+    #: seeds the deterministic jitter stream
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise InvalidParameterError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise InvalidParameterError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"[{self.base_delay}, {self.max_delay}]"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise InvalidParameterError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+
+def classify(exc: BaseException) -> str:
+    """Sort a job failure into :data:`RETRYABLE` or :data:`TERMINAL`."""
+    if isinstance(exc, OperationCancelledError):
+        return TERMINAL
+    if isinstance(exc, InjectedFaultError):
+        return RETRYABLE
+    if isinstance(exc, ReproError):
+        return TERMINAL
+    return RETRYABLE
+
+
+def backoff_delay(attempt: int, policy: RetryPolicy) -> float:
+    """Seconds to wait before retry number *attempt* (1-based).
+
+    Capped exponential in the attempt number, plus deterministic jitter
+    so colliding retries de-synchronise without becoming irreproducible.
+    """
+    if attempt < 1:
+        raise InvalidParameterError(f"attempt must be >= 1, got {attempt}")
+    base = min(policy.max_delay, policy.base_delay * (2 ** (attempt - 1)))
+    if policy.jitter == 0.0 or base == 0.0:
+        return base
+    rng = random.Random(f"{policy.seed}:{attempt}")
+    return base + rng.uniform(0.0, policy.jitter * base)

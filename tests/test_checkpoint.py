@@ -1,0 +1,264 @@
+"""Checkpoint/resume (repro.core.checkpoint + mine integration).
+
+Serialization round-trips, identity validation, recorder watermark
+semantics — and the acceptance criterion of the fault-tolerance layer:
+kill a run at *every* checkpoint boundary in turn, resume each time, and
+require the final pattern set to be byte-identical to an uninterrupted
+run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cancel import CancelToken, cancel_scope
+from repro.core.checkpoint import (
+    CheckpointIdentity,
+    CheckpointRecorder,
+    MiningCheckpoint,
+    NOOP_RECORDER,
+    active_recorder,
+    options_fingerprint,
+    recording_scope,
+)
+from repro.db.database import SequenceDatabase
+from repro.exceptions import (
+    CheckpointMismatchError,
+    DataFormatError,
+    InjectedFaultError,
+    InvalidParameterError,
+    OperationCancelledError,
+)
+from repro.faults import FaultPlan, fault_plan
+from repro.mining.api import mine, run_identity
+from repro.mining.registry import RESUMABLE_ALGORITHMS, supports_resume
+
+from tests.conftest import TABLE1_TEXTS, TABLE6_TEXTS
+
+
+@pytest.fixture
+def table6_db() -> SequenceDatabase:
+    return SequenceDatabase.from_texts(list(TABLE6_TEXTS.values()))
+
+
+def identity_of(db: SequenceDatabase, delta: int = 2) -> CheckpointIdentity:
+    return run_identity(db, delta, "disc-all", {})
+
+
+class TestIdentity:
+    def test_options_fingerprint_ignores_key_order(self):
+        assert options_fingerprint({"a": 1, "b": 2}) == options_fingerprint(
+            {"b": 2, "a": 1}
+        )
+        assert options_fingerprint({"a": 1}) != options_fingerprint({"a": 2})
+
+    def test_mismatch_reports_first_differing_field(self, table1_db):
+        base = identity_of(table1_db)
+        assert base.mismatch(base) is None
+        other = CheckpointIdentity(
+            "0" * 64, base.delta, base.algorithm, base.options_fingerprint
+        )
+        assert "digest" in (other.mismatch(base) or "")
+        wrong_delta = CheckpointIdentity(
+            base.database_digest, 99, base.algorithm, base.options_fingerprint
+        )
+        assert "delta" in (wrong_delta.mismatch(base) or "")
+        wrong_algo = CheckpointIdentity(
+            base.database_digest, base.delta, "spade", base.options_fingerprint
+        )
+        assert "algorithm" in (wrong_algo.mismatch(base) or "")
+
+    def test_database_digest_tracks_content(self, table1_db):
+        same = SequenceDatabase.from_texts(TABLE1_TEXTS)
+        changed = SequenceDatabase.from_texts(TABLE1_TEXTS[:-1])
+        assert table1_db.content_digest() == same.content_digest()
+        assert table1_db.content_digest() != changed.content_digest()
+
+
+class TestSerialization:
+    def test_round_trip(self, table1_db):
+        checkpoint = MiningCheckpoint(
+            identity=identity_of(table1_db),
+            completed_partitions=(2, 6),
+            completed_k=4,
+            patterns={((1,), (2,)): 3, ((2, 6),): 2},
+        )
+        restored = MiningCheckpoint.from_json(checkpoint.to_json())
+        assert restored == checkpoint
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(DataFormatError, match="not a mining checkpoint"):
+            MiningCheckpoint.from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, table1_db):
+        payload = MiningCheckpoint(identity=identity_of(table1_db)).to_dict()
+        payload["version"] = 99
+        with pytest.raises(DataFormatError, match="version"):
+            MiningCheckpoint.from_dict(payload)
+
+    def test_malformed_payload_rejected(self, table1_db):
+        payload = MiningCheckpoint(identity=identity_of(table1_db)).to_dict()
+        del payload["delta"]
+        with pytest.raises(DataFormatError, match="malformed"):
+            MiningCheckpoint.from_dict(payload)
+
+    def test_garbage_json_rejected(self):
+        with pytest.raises(DataFormatError):
+            MiningCheckpoint.from_json("{truncated")
+
+    def test_validate_for_raises_on_mismatch(self, table1_db):
+        checkpoint = MiningCheckpoint(identity=identity_of(table1_db))
+        other = CheckpointIdentity("f" * 64, 2, "disc-all", checkpoint.identity.options_fingerprint)
+        with pytest.raises(CheckpointMismatchError, match="cannot resume"):
+            checkpoint.validate_for(other)
+        checkpoint.validate_for(identity_of(table1_db))  # no raise
+
+
+class TestRecorder:
+    def test_watermark_advances_only_at_boundaries(self, table1_db):
+        recorder = CheckpointRecorder()
+        out: dict = {}
+        recorder.attach(out)
+        out[((1,),)] = 4
+        out[((2,),)] = 3
+        # Not yet committed: capture sees nothing.
+        assert recorder.capture(identity_of(table1_db)).patterns == {}
+        recorder.round_done(2)
+        snapshot = recorder.capture(identity_of(table1_db))
+        assert snapshot.patterns == {((1,),): 4, ((2,),): 3}
+        assert snapshot.completed_k == 2
+        out[((1,), (2,))] = 2  # uncommitted again
+        assert recorder.capture(identity_of(table1_db)).patterns == snapshot.patterns
+
+    def test_partition_done_resets_round_counter(self, table1_db):
+        recorder = CheckpointRecorder()
+        recorder.attach({})
+        recorder.round_done(4)
+        assert recorder.completed_k == 4
+        recorder.partition_done(1)
+        assert recorder.completed_k == 0
+        assert recorder.completed_partitions == (1,)
+        assert recorder.should_skip(1) and not recorder.should_skip(2)
+
+    def test_attach_seeds_resumed_patterns_first(self, table1_db):
+        resumed = MiningCheckpoint(
+            identity=identity_of(table1_db),
+            completed_partitions=(1,),
+            patterns={((1,),): 4},
+        )
+        recorder = CheckpointRecorder(resume_from=resumed)
+        out = {((2,),): 3}  # the fresh run's own 1-sequences
+        recorder.attach(out)
+        assert list(out) == [((1,),), ((2,),)]  # resumed entries lead
+        assert recorder.should_skip(1)
+
+    def test_sink_fires_at_each_boundary(self, table1_db):
+        seen: list[MiningCheckpoint] = []
+        recorder = CheckpointRecorder(sink=seen.append)
+        recorder.bind_identity(identity_of(table1_db))
+        recorder.attach({})
+        recorder.round_done(4)
+        recorder.partition_done(1)
+        assert len(seen) == 2
+        assert seen[1].completed_partitions == (1,)
+
+    def test_noop_recorder_is_ambient_default(self):
+        assert active_recorder() is NOOP_RECORDER
+        real = CheckpointRecorder()
+        with recording_scope(real):
+            assert active_recorder() is real
+        assert active_recorder() is NOOP_RECORDER
+
+
+class TestMineIntegration:
+    def test_cancellation_yields_partial_result(self, table6_db):
+        token = CancelToken()
+        emitted: list[MiningCheckpoint] = []
+
+        def sink(checkpoint: MiningCheckpoint) -> None:
+            emitted.append(checkpoint)
+            if len(emitted) == 2:
+                token.cancel("test stop")
+
+        with cancel_scope(token):
+            result = mine(table6_db, 2, checkpoint_to=sink)
+        assert not result.complete
+        assert result.checkpoint is not None
+        assert len(result.patterns) == len(result.checkpoint.patterns)
+
+    def test_resume_from_partial_equals_uninterrupted(self, table6_db):
+        reference = mine(table6_db, 2)
+        token = CancelToken()
+
+        def sink(checkpoint: MiningCheckpoint) -> None:
+            token.cancel("test stop")
+
+        with cancel_scope(token):
+            partial = mine(table6_db, 2, checkpoint_to=sink)
+        assert not partial.complete
+        resumed = mine(table6_db, 2, resume_from=partial.checkpoint)
+        assert resumed.complete
+        assert resumed.patterns == reference.patterns
+
+    def test_kill_at_every_fault_site_then_resume(self, table6_db):
+        """The acceptance criterion: crash anywhere, resume, equal output."""
+        reference = mine(table6_db, 2)
+        for site in ("disc.partition", "disc.round"):
+            hit = 1
+            while True:
+                checkpoints: list[MiningCheckpoint] = []
+                try:
+                    with fault_plan(FaultPlan.from_spec(f"{site}:{hit}")):
+                        mine(table6_db, 2, checkpoint_to=checkpoints.append)
+                    break  # hit number beyond the run's sites: clean finish
+                except InjectedFaultError:
+                    pass
+                resume = checkpoints[-1] if checkpoints else None
+                resumed = mine(table6_db, 2, resume_from=resume)
+                assert resumed.complete
+                assert resumed.patterns == reference.patterns, (site, hit)
+                hit += 1
+            assert hit > 1, f"fault site {site} never hit"
+
+    def test_resume_checkpoint_mismatch_raises(self, table6_db, table1_db):
+        token = CancelToken()
+
+        def sink(checkpoint: MiningCheckpoint) -> None:
+            token.cancel()
+
+        with cancel_scope(token):
+            partial = mine(table6_db, 2, checkpoint_to=sink)
+        with pytest.raises(CheckpointMismatchError):
+            mine(table1_db, 2, resume_from=partial.checkpoint)
+        with pytest.raises(CheckpointMismatchError):
+            mine(table6_db, 3, resume_from=partial.checkpoint)
+
+    def test_non_resumable_algorithm_rejects_checkpointing(self, table1_db):
+        assert not supports_resume("spade")
+        with pytest.raises(InvalidParameterError, match="does not support"):
+            mine(table1_db, 2, algorithm="spade", resume_from=None,
+                 checkpoint_to=lambda c: None)
+
+    def test_resumable_registry(self):
+        assert "disc-all" in RESUMABLE_ALGORITHMS
+        assert "disc-all-parallel" in RESUMABLE_ALGORITHMS
+        assert not supports_resume("dynamic-disc-all")
+
+    def test_cancel_before_first_partition_keeps_one_sequences(self, table1_db):
+        # A pre-cancelled token stops at the first partition boundary;
+        # the 1-sequences (whose supports are already final) survive.
+        token = CancelToken()
+        token.cancel("immediately")
+        with cancel_scope(token):
+            result = mine(table1_db, 2)
+        assert not result.complete
+        assert result.checkpoint is not None
+        assert result.checkpoint.completed_partitions == ()
+        assert all(len(seq) == 1 and len(seq[0]) == 1 for seq in result.patterns)
+
+
+    def test_complete_run_has_no_checkpoint(self, table1_db):
+        result = mine(table1_db, 2)
+        assert result.complete
+        assert result.checkpoint is None
+        assert result.completed_k == 0

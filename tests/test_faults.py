@@ -1,0 +1,156 @@
+"""Deterministic fault injection (repro.faults).
+
+Spec parsing, hit/repeat/probability triggering, determinism under a
+seed, arming scopes, and the environment entry point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InjectedFaultError, InvalidParameterError
+from repro.faults import (
+    ENV_SEED,
+    ENV_SPEC,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    arm,
+    disarm,
+    fault_plan,
+    fault_point,
+    parse_rule,
+    plan_from_env,
+)
+
+
+class TestParseRule:
+    def test_hit_count(self):
+        rule = parse_rule("disc.round:3")
+        assert rule == FaultRule("disc.round", hit=3)
+
+    def test_repeat(self):
+        rule = parse_rule("journal.fsync:2+")
+        assert rule.hit == 2 and rule.repeat
+
+    def test_probability(self):
+        rule = parse_rule("worker.crash:p0.25")
+        assert rule.probability == 0.25
+
+    def test_whitespace_tolerated(self):
+        assert parse_rule("  a.b : 1 ").site == "a.b"
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "nosep", ":3", "site:", "site:zero", "site:pxyz", "site:0",
+         "site:-1", "site:p0", "site:p1.5"],
+    )
+    def test_malformed_rules(self, text):
+        with pytest.raises(InvalidParameterError):
+            parse_rule(text)
+
+
+class TestFaultPlan:
+    def test_nth_hit_fires_once(self):
+        plan = FaultPlan.from_spec("s:2")
+        plan.check("s")
+        with pytest.raises(InjectedFaultError, match="hit 2"):
+            plan.check("s")
+        plan.check("s")  # hit 3: silent again
+        assert plan.hits() == {"s": 3}
+        assert plan.fired() == {"s": 1}
+
+    def test_repeat_fires_from_n_on(self):
+        plan = FaultPlan.from_spec("s:2+")
+        plan.check("s")
+        for _ in range(3):
+            with pytest.raises(InjectedFaultError):
+                plan.check("s")
+        assert plan.fired() == {"s": 3}
+
+    def test_unarmed_site_is_silent(self):
+        plan = FaultPlan.from_spec("other:1")
+        plan.check("s")  # not armed: neither counted nor raised
+        assert plan.hits() == {}
+        assert plan.fired() == {}
+
+    def test_probability_is_deterministic_per_seed(self):
+        def firing_pattern(seed: int) -> list[bool]:
+            plan = FaultPlan.from_spec("s:p0.5", seed=seed)
+            fired = []
+            for _ in range(50):
+                try:
+                    plan.check("s")
+                    fired.append(False)
+                except InjectedFaultError:
+                    fired.append(True)
+            return fired
+
+        assert firing_pattern(7) == firing_pattern(7)
+        assert firing_pattern(7) != firing_pattern(8)
+        assert any(firing_pattern(7)) and not all(firing_pattern(7))
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(InvalidParameterError, match="duplicate"):
+            FaultPlan.from_spec("s:1,s:2")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FaultPlan.from_spec("  , ,")
+
+    def test_multi_rule_spec(self):
+        plan = FaultPlan.from_spec("a:1, b:p0.5, c:3+")
+        assert plan.sites == ("a", "b", "c")
+
+
+class TestArming:
+    def test_disarmed_fault_point_is_inert(self):
+        disarm()
+        fault_point("anything")  # no plan, no effect
+
+    def test_context_manager_scopes_the_plan(self):
+        disarm()
+        with fault_plan(FaultPlan.from_spec("s:1")) as plan:
+            assert active_plan() is plan
+            with pytest.raises(InjectedFaultError):
+                fault_point("s")
+        assert active_plan() is None
+        fault_point("s")  # disarmed again
+
+    def test_nested_plans_restore_the_outer(self):
+        outer = FaultPlan.from_spec("a:1")
+        inner = FaultPlan.from_spec("b:1")
+        with fault_plan(outer):
+            with fault_plan(inner):
+                assert active_plan() is inner
+            assert active_plan() is outer
+        assert active_plan() is None
+
+    def test_explicit_arm_disarm(self):
+        plan = FaultPlan.from_spec("s:1")
+        arm(plan)
+        try:
+            assert active_plan() is plan
+        finally:
+            disarm()
+        assert active_plan() is None
+
+
+class TestEnvironment:
+    def test_unset_means_no_plan(self):
+        assert plan_from_env({}) is None
+        assert plan_from_env({ENV_SPEC: "  "}) is None
+
+    def test_spec_and_seed(self):
+        plan = plan_from_env({ENV_SPEC: "s:p0.5", ENV_SEED: "42"})
+        assert plan is not None
+        assert plan.sites == ("s",)
+        assert plan.seed == 42
+
+    def test_bad_seed_raises(self):
+        with pytest.raises(InvalidParameterError, match=ENV_SEED):
+            plan_from_env({ENV_SPEC: "s:1", ENV_SEED: "many"})
+
+    def test_bad_spec_raises(self):
+        with pytest.raises(InvalidParameterError):
+            plan_from_env({ENV_SPEC: "s:"})

@@ -1,0 +1,230 @@
+"""The durable job journal (repro.service.journal) and crash recovery.
+
+Append/replay round-trips, the forgiving reader (torn last line,
+interleaved writers), and the startup recovery policy: resume from a
+checkpoint, restart on fingerprint mismatch, fail unresumable jobs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.db.database import SequenceDatabase
+from repro.exceptions import InjectedFaultError, InvalidParameterError
+from repro.faults import FaultPlan, fault_plan
+from repro.mining.api import mine
+from repro.service import (
+    JobJournal,
+    MineOutcome,
+    MiningService,
+    replay_journal,
+)
+
+from tests.conftest import TABLE6_TEXTS
+
+DB_TEXTS = list(TABLE6_TEXTS.values())
+
+
+@pytest.fixture
+def db() -> SequenceDatabase:
+    return SequenceDatabase.from_texts(DB_TEXTS)
+
+
+class TestJournalAppendReplay:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        with JobJournal(path) as journal:
+            journal.append("accepted", "j1", database="demo", delta=2)
+            journal.append("started", "j1", attempt=1)
+            journal.append("finished", "j1", state="done", complete=True)
+            journal.append("accepted", "j2", database="demo", delta=3)
+        replay = replay_journal(path)
+        assert replay.total_lines == 4
+        assert replay.corrupt_lines == 0
+        assert replay.entries["j1"].finished
+        assert replay.entries["j1"].state == "done"
+        assert replay.entries["j1"].attempts == 1
+        assert not replay.entries["j2"].finished
+        assert [entry.job_id for entry in replay.interrupted()] == ["j2"]
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        replay = replay_journal(tmp_path / "never-written.jsonl")
+        assert replay.entries == {} and replay.corrupt_lines == 0
+
+    def test_directory_path_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="directory"):
+            JobJournal(tmp_path)
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        journal.close()
+        with pytest.raises(InvalidParameterError, match="closed"):
+            journal.append("accepted", "j1")
+
+    def test_truncated_last_line_is_skipped(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        with JobJournal(path) as journal:
+            journal.append("accepted", "j1", database="demo")
+            journal.append("started", "j1", attempt=1)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "finish')  # the crash tore this write
+        replay = replay_journal(path)
+        assert replay.corrupt_lines == 1
+        assert not replay.entries["j1"].finished  # torn record ignored
+
+    def test_interleaved_writer_garbage_is_skipped(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        with JobJournal(path) as journal:
+            journal.append("accepted", "j1", database="demo")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('["a", "json", "array"]\n')
+            handle.write('{"event": "started", "ts": 1}\n')  # no job id
+            handle.write('{"event": "started", "job": "j1", "attempt": 2}\n')
+        replay = replay_journal(path)
+        assert replay.corrupt_lines == 3
+        assert replay.entries["j1"].attempts == 2
+
+    def test_fsync_fault_site_fires(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        with fault_plan(FaultPlan.from_spec("journal.fsync:1")):
+            with pytest.raises(InjectedFaultError):
+                journal.append("accepted", "j1")
+        journal.append("accepted", "j2")  # plan gone, appends work again
+        replay = replay_journal(journal.path)
+        # The faulted record reached the file (the fault models a lost
+        # fsync, not a lost write); both lines replay.
+        assert set(replay.entries) == {"j1", "j2"}
+        journal.close()
+
+
+def interrupted_journal(tmp_path, db, *, drop_events=("finished",)):
+    """Run a service over a journal, then erase terminal records so the
+    journal looks like the process died mid-job."""
+    path = tmp_path / "jobs.jsonl"
+    service = MiningService(workers=1, journal=JobJournal(path))
+    service.register_database("demo", db)
+    with fault_plan(FaultPlan.from_spec("disc.partition:3+")):
+        job = service.submit_mine("demo", 2)
+        service.wait(job.id, timeout=60)
+    service.close()
+    lines = [
+        line
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip() and json.loads(line)["event"] not in drop_events
+    ]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path, job.id
+
+
+class TestRecovery:
+    def test_resume_from_checkpoint_under_original_id(self, tmp_path, db):
+        reference = mine(db, 2)
+        path, job_id = interrupted_journal(tmp_path, db)
+        service = MiningService(workers=1, journal=JobJournal(path))
+        service.register_database("demo", db)
+        summary = service.recover()
+        assert summary["resumed"] == 1
+        assert summary["failed"] == 0
+        job = service.job(job_id)  # original id survives the restart
+        service.wait(job.id, timeout=60)
+        outcome = job.result
+        assert isinstance(outcome, MineOutcome)
+        assert outcome.result.complete
+        assert outcome.result.patterns == reference.patterns
+        snapshot = service.metrics_snapshot()
+        assert snapshot["service.recovered_jobs"]["value"] == 1
+        service.close()
+
+    def test_new_submissions_never_reuse_recovered_ids(self, tmp_path, db):
+        path, job_id = interrupted_journal(tmp_path, db)
+        service = MiningService(workers=1, journal=JobJournal(path))
+        service.register_database("demo", db)
+        service.recover()
+        fresh = service.submit_mine("demo", 3)
+        assert fresh.id != job_id
+        service.wait(fresh.id, timeout=60)
+        service.close()
+
+    def test_digest_mismatch_fails_the_job(self, tmp_path, db):
+        path, job_id = interrupted_journal(tmp_path, db)
+        changed = SequenceDatabase.from_texts(DB_TEXTS[:-2])
+        service = MiningService(workers=1, journal=JobJournal(path))
+        service.register_database("demo", changed)  # same name, new content
+        summary = service.recover()
+        assert summary == {
+            "resumed": 0, "restarted": 0, "failed": 1, "corrupt_lines": 0,
+        }
+        service.close()
+        replay = replay_journal(path)
+        entry = replay.entries[job_id]
+        assert entry.finished and entry.state == "failed"
+        assert entry.code == "unresumable"
+        assert "content changed" in (entry.error or "")
+
+    def test_unknown_database_fails_the_job(self, tmp_path, db):
+        path, job_id = interrupted_journal(tmp_path, db)
+        service = MiningService(workers=1, journal=JobJournal(path))
+        summary = service.recover()  # nothing registered
+        assert summary["failed"] == 1
+        service.close()
+        entry = replay_journal(path).entries[job_id]
+        assert entry.code == "unresumable"
+
+    def test_corrupt_checkpoint_downgrades_to_restart(self, tmp_path, db):
+        reference = mine(db, 2)
+        path, job_id = interrupted_journal(tmp_path, db)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        rewritten = []
+        for line in lines:
+            record = json.loads(line)
+            if record["event"] == "checkpoint":
+                record["checkpoint"]["database_digest"] = "0" * 64
+                line = json.dumps(record, separators=(",", ":"))
+            rewritten.append(line)
+        path.write_text("\n".join(rewritten) + "\n", encoding="utf-8")
+        service = MiningService(workers=1, journal=JobJournal(path))
+        service.register_database("demo", db)
+        summary = service.recover()
+        assert summary["restarted"] == 1 and summary["resumed"] == 0
+        job = service.job(job_id)
+        service.wait(job.id, timeout=60)
+        outcome = job.result
+        assert isinstance(outcome, MineOutcome)
+        assert outcome.result.patterns == reference.patterns
+        service.close()
+
+    def test_torn_tail_does_not_block_recovery(self, tmp_path, db):
+        path, job_id = interrupted_journal(tmp_path, db)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "checkpoint", "job": "' + job_id)
+        service = MiningService(workers=1, journal=JobJournal(path))
+        service.register_database("demo", db)
+        summary = service.recover()
+        assert summary["corrupt_lines"] == 1
+        assert summary["resumed"] == 1
+        service.wait(job_id, timeout=60)
+        service.close()
+
+    def test_recover_without_journal_is_a_noop(self, db):
+        service = MiningService(workers=1)
+        assert service.recover() == {
+            "resumed": 0, "restarted": 0, "failed": 0, "corrupt_lines": 0,
+        }
+        service.close()
+
+    def test_finished_jobs_are_not_recovered(self, tmp_path, db):
+        path = tmp_path / "jobs.jsonl"
+        service = MiningService(workers=1, journal=JobJournal(path))
+        service.register_database("demo", db)
+        job = service.submit_mine("demo", 2)
+        service.wait(job.id, timeout=60)
+        service.close()
+        service = MiningService(workers=1, journal=JobJournal(path))
+        service.register_database("demo", db)
+        assert service.recover() == {
+            "resumed": 0, "restarted": 0, "failed": 0, "corrupt_lines": 0,
+        }
+        service.close()

@@ -79,6 +79,21 @@ class TestRuleFixtures:
             ("DISC006", 17),
         ]
 
+    def test_disc007_adhoc_fault_flags(self):
+        found = findings_of(FIXTURES / "service" / "bad_faults.py")
+        assert [rule for rule, _ in found] == ["DISC007"] * 5
+        assert [line for _, line in found] == [9, 10, 14, 16, 18]
+
+    def test_disc007_exempts_the_faults_module(self):
+        source = (
+            "import os\n"
+            "TESTING = os.getenv('REPRO_FAULTS')\n"
+            "if TESTING:\n"
+            "    pass\n"
+        )
+        assert lint_source(source, path="repro/faults.py") == []
+        assert lint_source(source, path="repro/core/x.py") != []
+
     def test_lint001_unknown_suppression_id(self):
         found = findings_of(FIXTURES / "core" / "bad_allow.py")
         # the typo'd id suppresses nothing: the sort fires AND is reported
@@ -186,7 +201,7 @@ class TestEngineEdges:
     def test_catalog_has_documented_rules(self):
         catalog = rule_catalog()
         for rule_id in ("DISC001", "DISC002", "DISC003", "DISC004", "DISC005",
-                        "DISC006", "LINT001"):
+                        "DISC006", "DISC007", "LINT001"):
             assert rule_id in catalog
             assert catalog[rule_id].title
             assert catalog[rule_id].rationale
@@ -236,7 +251,7 @@ class TestCli:
         for name in ("core/disc.py", "core/bad_sort.py", "core/bad_mutation.py",
                      "core/bad_dataclass.py", "mining/bad_except.py",
                      "core/bad_allow.py", "core/bad_print.py",
-                     "service/bad_service.py"):
+                     "service/bad_service.py", "service/bad_faults.py"):
             assert main(["lint", str(FIXTURES / name)]) == 1, name
 
     def test_json_format(self, capsys):

@@ -591,6 +591,29 @@ class TestMiningService:
             jobs = [svc.submit_mine("t1", n) for n in (1, 2, 3)]
         assert all(job.state == DONE for job in jobs)
 
+    def test_partial_result_is_done_but_never_cached(self, service):
+        service.register_database("deep", make_db(DEEP_TEXTS))
+        job = service.submit_mine("deep", 2, deadline_seconds=0.0001)
+        service.wait(job.id, timeout=30.0)
+        assert job.state == DONE
+        partial = job.result
+        assert partial.result.complete is False
+        snap = service.metrics_snapshot()
+        assert metric_value(snap, "service.partial_results") == 1
+        # A partial result must not poison the cache: the same request
+        # without a deadline runs fresh and completes.
+        again = service.wait(service.submit_mine("deep", 2).id, timeout=30.0)
+        assert again.result.cached is False
+        assert again.result.result.complete is True
+
+    def test_retry_after_hint_is_bounded(self, service):
+        hint = service.retry_after_hint()
+        assert isinstance(hint, int)
+        assert 1 <= hint <= 60
+        service.register_database("t1", make_db(TABLE1_TEXTS))
+        service.wait(service.submit_mine("t1", 2).id, timeout=30.0)
+        assert 1 <= service.retry_after_hint() <= 60
+
     def test_job_latency_histogram_is_recorded(self, service):
         service.register_database("t1", make_db(TABLE1_TEXTS))
         service.wait(service.submit_mine("t1", 2).id, timeout=30.0)

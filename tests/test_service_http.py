@@ -55,6 +55,20 @@ def http(method: str, url: str, payload: dict | None = None):
         return exc.code, json.loads(exc.read().decode("utf-8"))
 
 
+def http_raw(method: str, url: str, payload: dict | None = None):
+    """Like :func:`http`, but also returns the response headers."""
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            body = json.loads(response.read().decode("utf-8"))
+            return response.status, body, response.headers
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8")), exc.headers
+
+
 def poll_job(base: str, job_id: str, timeout: float = 30.0) -> dict:
     """GET the job until it reaches a terminal state."""
     deadline = time.monotonic() + timeout
@@ -271,6 +285,74 @@ class TestErrors:
         )
         assert status == 400
         assert body["error"]["code"] == "bad_database"
+
+
+class TestFaultTolerance:
+    def test_job_payload_exposes_attempts_and_completeness(self, served):
+        base, _ = served
+        register_table1(base)
+        _, submitted = http(
+            "POST", f"{base}/mine", {"database": "t1", "min_support": 2}
+        )
+        job = poll_job(base, submitted["job_id"])
+        assert job["attempts"] == 1
+        assert job["result"]["complete"] is True
+        assert job["result"]["completed_k"] == 0
+
+    def test_429_carries_retry_after(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated(members, delta, **options):
+            started.set()
+            assert release.wait(30.0), "test never released the gate"
+            return disc_all(members, delta).patterns
+
+        algorithm_registry.register_algorithm(
+            "gated-retry-after", gated, replace=True
+        )
+        service = MiningService(workers=1, queue_size=1, cache_entries=4)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            register_table1(base)
+            status, _, _ = http_raw(
+                "POST",
+                f"{base}/mine",
+                {
+                    "database": "t1",
+                    "min_support": 3,
+                    "algorithm": "gated-retry-after",
+                },
+            )
+            assert status == 202
+            assert started.wait(30.0)
+            # Fill the single queue slot, then overflow it.
+            rejected = None
+            for _ in range(4):
+                status, body, headers = http_raw(
+                    "POST",
+                    f"{base}/mine",
+                    {"database": "t1", "min_support": 2},
+                )
+                if status == 429:
+                    rejected = (body, headers)
+            assert rejected is not None, "queue never overflowed"
+            body, headers = rejected
+            assert body["error"]["code"] == "overloaded"
+            retry_after = headers["Retry-After"]
+            assert retry_after is not None
+            assert int(retry_after) >= 1  # RFC 9110: delay-seconds
+            assert body["error"]["retry_after_seconds"] == int(retry_after)
+        finally:
+            release.set()
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10.0)
+            service.close(drain=True, timeout=30.0)
 
 
 class TestAcceptance:
