@@ -1,22 +1,33 @@
 """Static analysis for the repro codebase (system S24).
 
-An AST-based lint engine that turns the repo's algorithmic invariants —
-above all the paper's "no support counting in the DISC loop" claim
-(Lemmas 2.1/2.2) — into machine-checked rules.  Stdlib-only (``ast`` +
-``tokenize``); see ``docs/DEVELOPMENT.md`` for the rule catalog.
+Two engines share one findings/suppression/reporting substrate:
+
+* the per-file linter (``repro lint``) — AST rules over one module at a
+  time, turning the paper's algorithmic invariants (above all "no
+  support counting in the DISC loop", Lemmas 2.1/2.2) into gates;
+* the whole-program checker (``repro check``) — parses every module
+  into one project model, builds a name-resolution call graph and runs
+  the cross-module rule families: CONC (lock discipline), FLOW
+  (exception flow and cancellation liveness), HOT (hot-loop hygiene).
+
+Stdlib-only (``ast`` + ``tokenize``); see ``docs/DEVELOPMENT.md`` for
+the full rule catalog.
 
 Programmatic use::
 
-    from repro.analysis import lint_paths, lint_source
+    from repro.analysis import lint_paths, check_paths
     findings, checked = lint_paths(["src"])
+    findings, modules = check_paths(["src"])
 
 Command line::
 
     repro lint src/                 # or: python -m repro.analysis src/
-    repro lint --list-rules
-    repro lint --format json src/
+    repro check src/
+    repro lint --format sarif src/
+    repro check --list-rules
 """
 
+from repro.analysis.checker import check_paths, check_project
 from repro.analysis.engine import (
     lint_file,
     lint_paths,
@@ -24,18 +35,39 @@ from repro.analysis.engine import (
     parse_suppressions,
 )
 from repro.analysis.findings import Finding
-from repro.analysis.reporting import render_json, render_text, rule_counts
-from repro.analysis.visitor import Rule, register, rule_catalog
+from repro.analysis.project import ProjectModel, load_project
+from repro.analysis.reporting import (
+    render_json,
+    render_sarif,
+    render_text,
+    rule_counts,
+)
+from repro.analysis.visitor import (
+    ProjectRule,
+    Rule,
+    project_rule_catalog,
+    register,
+    register_project,
+    rule_catalog,
+)
 
 __all__ = [
     "Finding",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
+    "check_paths",
+    "check_project",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_project",
     "parse_suppressions",
+    "project_rule_catalog",
     "register",
+    "register_project",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_catalog",
     "rule_counts",

@@ -1,0 +1,464 @@
+"""CONC rules: lock discipline for the service layer (system S24).
+
+CONC001 — guarded attributes.  A shared mutable attribute is declared
+with a ``# guarded-by: <lock-attr>`` comment on its assignment::
+
+    self._jobs: dict[str, Job] = {}  # guarded-by: _lock
+
+Every read or write of a declared attribute must then happen under
+``with self.<lock>`` — either lexically, or because every call site of
+the enclosing method (transitively, through the call graph) holds the
+lock.  That blesses the ``_foo_locked`` helper pattern without any
+annotation on the helper.  ``__init__`` is exempt: the object is not
+shared yet.  A class that constructs a ``threading.Lock``/``RLock`` but
+declares nothing guarded is itself flagged — a lock with no documented
+protectorate protects nothing.
+
+CONC002 — lock ordering.  Locks are identified as ``(class, attribute)``
+pairs.  The rule collects every acquisition order — lexical ``with``
+nesting plus calls made while a lock is held, closed transitively over
+the call graph — and flags any cycle in the resulting graph as a
+potential deadlock.  Re-acquisition of the same lock is not judged here
+(``RLock`` makes it legal); only ordering cycles between distinct locks
+are reported.
+
+Closures (nested ``def``s) run outside their definition site, so their
+bodies are not checked against the enclosing ``with`` scope; calls they
+make are still edges of their own function node in the graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.callgraph import CallGraph, FunctionInfo, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.project import ClassInfo, ProjectModel
+from repro.analysis.visitor import ProjectRule, iter_subtree, register_project
+
+#: rel-path prefixes whose classes participate in the CONC rules
+CONC_SCOPES = ("service/", "obs/")
+
+_LOCK_FACTORIES = ("threading.Lock", "threading.RLock")
+
+#: a lock, named by the class that owns it and the attribute storing it
+LockId = tuple[str, str]
+
+
+def _self_attr(expr: ast.expr) -> str | None:
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def _lock_attrs(cls: ClassInfo, graph: CallGraph) -> dict[str, str]:
+    """Lock-holding attributes of *cls*: attr -> factory qname."""
+    out: dict[str, str] = {}
+    for method in cls.methods.values():
+        for node in iter_subtree(method.node, skip_functions=True):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            dotted = dotted_name(value.func)
+            if dotted is None:
+                continue
+            factory = graph.resolver.resolve_dotted_in_module(cls.module, dotted)
+            if factory not in _LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    out[attr] = factory
+    return out
+
+
+def _guarded_decls(cls: ClassInfo) -> dict[str, tuple[str, int]]:
+    """``# guarded-by:`` declarations of *cls*: attr -> (lock attr, line)."""
+    guards = cls.module.guard_comments
+    out: dict[str, tuple[str, int]] = {}
+    for stmt in cls.node.body:
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.lineno in guards
+        ):
+            out[stmt.target.id] = (guards[stmt.lineno], stmt.lineno)
+    for method in cls.methods.values():
+        for node in iter_subtree(method.node, skip_functions=True):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            else:
+                continue
+            if node.lineno not in guards:
+                continue
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    out[attr] = (guards[node.lineno], node.lineno)
+    return out
+
+
+def _held_map(
+    fn_node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[int, frozenset[str]]:
+    """``id(node) -> self-lock attrs held`` for the body of one function.
+
+    Nested ``def``/``lambda`` bodies are excluded: a closure runs later,
+    not under the enclosing ``with``.
+    """
+    held_map: dict[int, frozenset[str]] = {}
+
+    def visit(node: ast.AST, held: frozenset[str]) -> None:
+        held_map[id(node)] = held
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            and node is not fn_node
+        ):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                visit(item.context_expr, held)
+                attr = _self_attr(item.context_expr)
+                if attr is not None:
+                    inner = inner | {attr}
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    visit(fn_node, frozenset())
+    return held_map
+
+
+class _HeldIndex:
+    """Lazily computed per-method held-lock maps."""
+
+    def __init__(self) -> None:
+        self._cache: dict[str, dict[int, frozenset[str]]] = {}
+
+    def held_at(self, fn: FunctionInfo, node: ast.AST) -> frozenset[str]:
+        held = self._cache.get(fn.qname)
+        if held is None:
+            held = _held_map(fn.node)
+            self._cache[fn.qname] = held
+        return held.get(id(node), frozenset())
+
+
+def _in_scope(rel_path: str, scopes: Iterable[str]) -> bool:
+    return any(rel_path.startswith(scope) for scope in scopes)
+
+
+@register_project
+class GuardedAttributeRule(ProjectRule):
+    """CONC001: guarded attributes are only touched under their lock."""
+
+    rule_id = "CONC001"
+    title = "guarded-by attribute accessed outside its lock"
+    rationale = (
+        "Service state is shared across worker and HTTP threads; every "
+        "access to a # guarded-by attribute must hold the declared lock, "
+        "either lexically or at every call site of the enclosing method."
+    )
+    scopes = CONC_SCOPES
+
+    def check(self, project: ProjectModel, graph: CallGraph) -> list[Finding]:
+        findings: list[Finding] = []
+        held_index = _HeldIndex()
+        for module in project.modules.values():
+            if not _in_scope(module.rel_path, CONC_SCOPES):
+                continue
+            for cls in module.classes.values():
+                findings.extend(self._check_class(cls, graph, held_index))
+        return findings
+
+    def _check_class(
+        self, cls: ClassInfo, graph: CallGraph, held_index: _HeldIndex
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        decls = _guarded_decls(cls)
+        locks = _lock_attrs(cls, graph)
+        if locks and not decls:
+            findings.append(
+                Finding(
+                    self.rule_id,
+                    cls.module.path,
+                    cls.node.lineno,
+                    cls.node.col_offset,
+                    f"class {cls.name} constructs a lock "
+                    f"({', '.join(sorted(locks))}) but declares no "
+                    "# guarded-by attributes",
+                )
+            )
+        if not decls:
+            return findings
+        verified: dict[tuple[str, str], bool] = {}
+        for method in cls.methods.values():
+            if method.name == "__init__":
+                continue
+            for node in iter_subtree(method.node, skip_functions=True):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                attr = _self_attr(node)
+                if attr is None or attr not in decls:
+                    continue
+                lock = decls[attr][0]
+                if lock in held_index.held_at(method, node):
+                    continue
+                if self._method_held_by_callers(
+                    method, lock, cls, graph, held_index, verified, set()
+                ):
+                    continue
+                findings.append(
+                    Finding(
+                        self.rule_id,
+                        cls.module.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"'{attr}' is guarded by '{lock}' but "
+                        f"{cls.name}.{method.name} can reach this access "
+                        "without holding it",
+                    )
+                )
+        return findings
+
+    def _method_held_by_callers(
+        self,
+        method: FunctionInfo,
+        lock: str,
+        cls: ClassInfo,
+        graph: CallGraph,
+        held_index: _HeldIndex,
+        verified: dict[tuple[str, str], bool],
+        visiting: set[str],
+    ) -> bool:
+        """True when every call site of *method* holds *lock* on *cls*."""
+        key = (method.qname, lock)
+        if key in verified:
+            return verified[key]
+        if method.qname in visiting:
+            return True  # cycle: optimistic here, the entry point decides
+        visiting.add(method.qname)
+        sites = graph.calls_to(method.qname)
+        ok = bool(sites)
+        for site in sites:
+            caller = site.caller
+            if caller.owner is not cls:
+                ok = False
+                break
+            if caller.name == "__init__":
+                continue  # not shared yet
+            if lock in held_index.held_at(caller, site.node):
+                continue
+            if not self._method_held_by_callers(
+                caller, lock, cls, graph, held_index, verified, visiting
+            ):
+                ok = False
+                break
+        visiting.discard(method.qname)
+        verified[key] = ok
+        return ok
+
+
+@register_project
+class LockOrderRule(ProjectRule):
+    """CONC002: the lock-acquisition-order graph must be acyclic."""
+
+    rule_id = "CONC002"
+    title = "cyclic lock-acquisition order (potential deadlock)"
+    rationale = (
+        "Two threads taking the same locks in opposite orders deadlock "
+        "under load; the acquisition graph over (class, lock-attribute) "
+        "pairs, closed over the call graph, must stay a DAG."
+    )
+    scopes = CONC_SCOPES
+
+    def check(self, project: ProjectModel, graph: CallGraph) -> list[Finding]:
+        lock_attrs: dict[str, dict[str, str]] = {
+            cls.qname: _lock_attrs(cls, graph) for cls in project.classes.values()
+        }
+
+        def lock_of(expr: ast.expr, fn: FunctionInfo) -> LockId | None:
+            attr = _self_attr(expr)
+            if attr is not None and fn.owner is not None:
+                for entry in graph.resolver.mro(fn.owner):
+                    if attr in lock_attrs.get(entry.qname, {}):
+                        return (entry.qname, attr)
+                return None
+            if isinstance(expr, ast.Attribute):
+                receiver = graph.resolver.expression_type(expr.value, fn)
+                if receiver is not None and expr.attr in lock_attrs.get(
+                    receiver.qname, {}
+                ):
+                    return (receiver.qname, expr.attr)
+            return None
+
+        # per-function: direct acquisitions, lexical-nesting edges, and
+        # call sites annotated with the locks held at the call
+        direct: dict[str, set[LockId]] = {}
+        edges: dict[tuple[LockId, LockId], tuple[str, int, int]] = {}
+        calls_under: list[tuple[FunctionInfo, ast.Call, frozenset[LockId]]] = []
+
+        def note_edge(src: LockId, dst: LockId, at: ast.AST, path: str) -> None:
+            if src == dst:
+                return
+            key = (src, dst)
+            if key not in edges:
+                edges[key] = (path, at.lineno, at.col_offset)
+
+        def walk(fn: FunctionInfo, node: ast.AST, held: tuple[LockId, ...]) -> None:
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+                and node is not fn.node
+            ):
+                return
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                inner = held
+                for item in node.items:
+                    walk(fn, item.context_expr, held)
+                    lock = lock_of(item.context_expr, fn)
+                    if lock is not None:
+                        direct.setdefault(fn.qname, set()).add(lock)
+                        for outer in inner:
+                            note_edge(outer, lock, node, fn.module.path)
+                        if lock not in inner:
+                            inner = inner + (lock,)
+                for stmt in node.body:
+                    walk(fn, stmt, inner)
+                return
+            if isinstance(node, ast.Call):
+                calls_under.append((fn, node, frozenset(held)))
+            for child in ast.iter_child_nodes(node):
+                walk(fn, child, held)
+
+        for fn in project.functions.values():
+            walk(fn, fn.node, ())
+
+        # transitive acquisitions: a call made under a lock acquires, in
+        # order, everything its callee (transitively) acquires
+        all_acq: dict[str, set[LockId]] = {
+            qname: set(direct.get(qname, set())) for qname in project.functions
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qname in project.functions:
+                acquired = all_acq[qname]
+                before = len(acquired)
+                for site in graph.calls_from(qname):
+                    if site.callee is not None and site.callee in all_acq:
+                        acquired |= all_acq[site.callee]
+                if len(acquired) != before:
+                    changed = True
+
+        for fn, call, held in calls_under:
+            if not held:
+                continue
+            callee = None
+            for site in graph.calls_from(fn.qname):
+                if site.node is call:
+                    callee = site.callee
+                    break
+            if callee is None or callee not in all_acq:
+                continue
+            for outer in held:
+                for inner_lock in all_acq[callee]:
+                    note_edge(outer, inner_lock, call, fn.module.path)
+
+        return self._find_cycles(edges, lock_attrs)
+
+    def _find_cycles(
+        self,
+        edges: dict[tuple[LockId, LockId], tuple[str, int, int]],
+        lock_attrs: dict[str, dict[str, str]],
+    ) -> list[Finding]:
+        adjacency: dict[LockId, set[LockId]] = {}
+        for (src, dst), _ in edges.items():
+            adjacency.setdefault(src, set()).add(dst)
+            adjacency.setdefault(dst, set())
+
+        # iterative Tarjan SCC
+        index: dict[LockId, int] = {}
+        low: dict[LockId, int] = {}
+        on_stack: set[LockId] = set()
+        stack: list[LockId] = []
+        sccs: list[list[LockId]] = []
+        counter = [0]
+
+        def strongconnect(root: LockId) -> None:
+            work: list[tuple[LockId, list[LockId]]] = [
+                (root, sorted(adjacency[root]))
+            ]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                if successors:
+                    nxt = successors.pop(0)
+                    if nxt not in index:
+                        index[nxt] = low[nxt] = counter[0]
+                        counter[0] += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, sorted(adjacency[nxt])))
+                    elif nxt in on_stack:
+                        low[node] = min(low[node], index[nxt])
+                else:
+                    work.pop()
+                    if work:
+                        parent = work[-1][0]
+                        low[parent] = min(low[parent], low[node])
+                    if low[node] == index[node]:
+                        component: list[LockId] = []
+                        while True:
+                            member = stack.pop()
+                            on_stack.discard(member)
+                            component.append(member)
+                            if member == node:
+                                break
+                        sccs.append(component)
+
+        for node in sorted(adjacency):
+            if node not in index:
+                strongconnect(node)
+
+        findings: list[Finding] = []
+        for component in sccs:
+            if len(component) < 2:
+                continue
+            members = set(component)
+            cycle_edges = sorted(
+                (location, src, dst)
+                for (src, dst), location in edges.items()
+                if src in members and dst in members
+            )
+            location, src, dst = cycle_edges[0]
+            names = " -> ".join(
+                f"{qname.rsplit('.', 1)[-1]}.{attr}"
+                for qname, attr in sorted(members)
+            )
+            findings.append(
+                Finding(
+                    self.rule_id,
+                    location[0],
+                    location[1],
+                    location[2],
+                    f"lock-order cycle: {names} (acquiring "
+                    f"{dst[0].rsplit('.', 1)[-1]}.{dst[1]} while holding "
+                    f"{src[0].rsplit('.', 1)[-1]}.{src[1]})",
+                )
+            )
+        return findings

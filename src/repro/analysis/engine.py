@@ -16,16 +16,22 @@ statements can be annotated above their first line.
 from __future__ import annotations
 
 import ast
-import io
-import re
-import tokenize
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence, Type
 
 from repro.analysis.findings import PARSE_ERROR_ID, Finding
+from repro.analysis.suppress import (
+    effective_suppressions as _effective_suppressions,
+)
+from repro.analysis.suppress import parse_suppressions
 
-# Importing the catalog registers the default rules.
+# Importing the catalogs registers the default rules — both the per-file
+# DISC/LINT rules and the whole-program CONC/FLOW/HOT families, so that
+# LINT001 recognises every id a suppression comment may legitimately name.
 from repro.analysis import rules as _rules  # noqa: F401  (side-effect import)
+from repro.analysis import conc as _conc  # noqa: F401  (side-effect import)
+from repro.analysis import flow as _flow  # noqa: F401  (side-effect import)
+from repro.analysis import hot as _hot  # noqa: F401  (side-effect import)
 from repro.analysis.visitor import (
     LintContext,
     Rule,
@@ -33,61 +39,13 @@ from repro.analysis.visitor import (
     walk_module,
 )
 
-_ALLOW_PATTERN = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
-
-
-def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
-    """``# repro: allow[...]`` comments by the line they are written on."""
-    comments: dict[int, frozenset[str]] = {}
-    reader = io.StringIO(source).readline
-    try:
-        tokens = list(tokenize.generate_tokens(reader))
-    except (tokenize.TokenError, IndentationError, SyntaxError):
-        return comments
-    for token in tokens:
-        if token.type != tokenize.COMMENT:
-            continue
-        match = _ALLOW_PATTERN.search(token.string)
-        if match is None:
-            continue
-        ids = frozenset(
-            part.strip() for part in match.group(1).split(",") if part.strip()
-        )
-        if ids:
-            line = token.start[0]
-            comments[line] = comments.get(line, frozenset()) | ids
-    return comments
-
-
-def _effective_suppressions(
-    source: str, comments: dict[int, frozenset[str]]
-) -> dict[int, frozenset[str]]:
-    """Per-line suppression map.
-
-    A suppression covers its own line; when the comment stands alone on
-    its line it also propagates down through any further comment-only
-    lines onto the first code line below (so a multi-line explanation
-    above a statement suppresses the statement).
-    """
-    lines = source.splitlines()
-    effective: dict[int, frozenset[str]] = {}
-
-    def extend(line: int, ids: frozenset[str]) -> None:
-        effective[line] = effective.get(line, frozenset()) | ids
-
-    def is_comment_only(line: int) -> bool:
-        text = lines[line - 1] if 0 < line <= len(lines) else ""
-        return text.lstrip().startswith("#")
-
-    for line, ids in comments.items():
-        extend(line, ids)
-        if is_comment_only(line):
-            below = line + 1
-            while below <= len(lines) and is_comment_only(below):
-                extend(below, ids)
-                below += 1
-            extend(below, ids)
-    return effective
+__all__ = [
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+]
 
 
 def _resolve_rules(rule_ids: Sequence[str] | None) -> list[Type[Rule]]:

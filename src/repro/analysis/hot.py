@@ -1,0 +1,128 @@
+"""HOT rule: allocation hygiene in the DISC discovery loop (system S24).
+
+The paper's claim is that DISC discovers the k-minimum sequence without
+support counting; the repo's claim on top is that observing that loop is
+free when observability is off.  Both die by a thousand cuts if the hot
+loop starts calling into ``obs/`` or ``service/`` helpers that allocate
+(span objects, metric lookups, label formatting) on every iteration.
+
+HOT001 anchors on every ``while`` loop in ``core/disc.py`` (the k>=4
+discovery path iterates ``while len(tree) >= delta``) and walks every
+call made from the loop body, closed transitively over the call graph.
+A resolved target living under ``obs/`` or ``service/`` is only allowed
+when it is one of the pre-fetched handle mutators (``Counter.add``,
+``Gauge.set``, ``Histogram.record`` and their no-op twins) — the no-op
+``Observation`` indirection the instrumentation layer was built around.
+Registry lookups (``metrics.counter(...)``), span creation and anything
+else allocating must stay outside the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectModel
+from repro.analysis.visitor import ProjectRule, iter_subtree, register_project
+
+#: the module holding the DISC discovery loop
+DISC_MODULE = "core/disc.py"
+#: the module defining the metric handle classes
+METRICS_MODULE = "obs/metrics.py"
+#: handle mutators that are allowed inside the loop (pre-fetched handles)
+HANDLE_MUTATORS = ("add", "set", "record")
+
+_HOT_PREFIXES = ("obs/", "service/")
+
+
+@register_project
+class HotLoopHygieneRule(ProjectRule):
+    """HOT001: the discovery loop avoids allocating obs/service calls."""
+
+    rule_id = "HOT001"
+    title = "DISC discovery loop calls an allocating obs/service function"
+    rationale = (
+        "Per-iteration calls into obs/ or service/ (metric registry "
+        "lookups, span creation) allocate and serialize the hot loop; "
+        "only pre-fetched no-op-capable handle mutators are free."
+    )
+    scopes = (DISC_MODULE,)
+
+    def check(self, project: ProjectModel, graph: CallGraph) -> list[Finding]:
+        module = project.modules_by_rel.get(DISC_MODULE)
+        if module is None:
+            return []
+        allowed = self._allowed_mutators(project)
+        findings: list[Finding] = []
+        seen: set[tuple[int, int]] = set()
+        for fn in project.functions.values():
+            if fn.module is not module:
+                continue
+            for node in iter_subtree(fn.node, skip_functions=True):
+                if not isinstance(node, ast.While):
+                    continue
+                for finding in self._check_loop(
+                    node, fn.qname, project, graph, allowed
+                ):
+                    key = (finding.line, finding.col)
+                    if key not in seen:
+                        seen.add(key)
+                        findings.append(finding)
+        return sorted(findings, key=Finding.sort_index)
+
+    def _allowed_mutators(self, project: ProjectModel) -> set[str]:
+        metrics = project.modules_by_rel.get(METRICS_MODULE)
+        if metrics is None:
+            return set()
+        return {
+            method.qname
+            for cls in metrics.classes.values()
+            for name, method in cls.methods.items()
+            if name in HANDLE_MUTATORS
+        }
+
+    def _check_loop(
+        self,
+        loop: ast.While,
+        caller: str,
+        project: ProjectModel,
+        graph: CallGraph,
+        allowed: set[str],
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in iter_subtree(loop, skip_functions=True):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = None
+            for site in graph.calls_from(caller):
+                if site.node is node:
+                    callee = site.callee
+                    break
+            if callee is None:
+                continue
+            offenders = sorted(
+                qname
+                for qname in graph.reachable([callee])
+                if qname not in allowed and self._is_hot(qname, project)
+            )
+            if offenders:
+                findings.append(
+                    Finding(
+                        self.rule_id,
+                        project.functions[caller].module.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"discovery-loop call reaches {offenders[0]} "
+                        "(allocating obs/service code); hoist the handle "
+                        "out of the loop or go through the no-op "
+                        "Observation indirection",
+                    )
+                )
+        return findings
+
+    def _is_hot(self, qname: str, project: ProjectModel) -> bool:
+        fn = project.functions.get(qname)
+        if fn is None:
+            return False
+        return fn.module.rel_path.startswith(_HOT_PREFIXES)

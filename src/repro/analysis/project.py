@@ -1,0 +1,280 @@
+"""Whole-program project model for ``repro check`` (system S24).
+
+Where the per-file engine sees one module at a time, the checker first
+parses *every* module under the given paths into a :class:`ProjectModel`:
+per-module ASTs, dotted module names, import-alias tables, class and
+function indexes, suppression comments and ``# guarded-by:`` declarations.
+The model is purely syntactic — name resolution and type inference live
+in :mod:`repro.analysis.callgraph`.
+
+Module naming mirrors :func:`repro.analysis.visitor.module_rel_path`: a
+path containing a ``repro`` component is anchored there, so the fixture
+packages under ``tests/fixtures/check/<rule>/repro/...`` resolve to the
+same dotted names (``repro.service.x``) as the real tree and scoped rules
+behave identically on both.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import PARSE_ERROR_ID, Finding
+from repro.analysis.suppress import effective_suppressions, parse_suppressions
+from repro.analysis.visitor import module_rel_path
+
+#: Declares the lock attribute guarding a shared mutable attribute, e.g.
+#: ``self._jobs: dict[str, Job] = {}  # guarded-by: _lock``
+GUARDED_BY_PATTERN = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def parse_guard_comments(source: str) -> dict[int, str]:
+    """``# guarded-by: <attr>`` comments by the line they are written on."""
+    guards: dict[int, str] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return guards
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = GUARDED_BY_PATTERN.search(token.string)
+        if match is not None:
+            guards[token.start[0]] = match.group(1)
+    return guards
+
+
+@dataclass(eq=False)
+class FunctionInfo:
+    """One function or method definition anywhere in the project."""
+
+    qname: str
+    name: str
+    module: "ModuleInfo"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    owner: "ClassInfo | None" = None
+    parent: "FunctionInfo | None" = None
+    #: nested ``def``s by simple name (their qnames carry ``.<locals>.``)
+    nested: dict[str, "FunctionInfo"] = field(default_factory=dict)
+
+    @property
+    def is_method(self) -> bool:
+        return self.owner is not None
+
+
+@dataclass(eq=False)
+class ClassInfo:
+    """One class definition anywhere in the project."""
+
+    qname: str
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass(eq=False)
+class ModuleInfo:
+    """One parsed module: AST plus the per-module symbol tables."""
+
+    path: str
+    rel_path: str
+    name: str
+    source: str
+    tree: ast.Module
+    is_package: bool
+    #: effective per-line ``# repro: allow[...]`` suppressions
+    suppressions: dict[int, frozenset[str]]
+    #: ``# guarded-by: <attr>`` declarations by line
+    guard_comments: dict[int, str]
+    #: local name -> dotted target, from ``import``/``from ... import``
+    imports: dict[str, str] = field(default_factory=dict)
+    #: top-level classes by simple name
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: top-level functions by simple name
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+class ProjectModel:
+    """Every analysed module, with global class/function indexes."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.modules_by_rel: dict[str, ModuleInfo] = {}
+        self.modules_by_path: dict[str, ModuleInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.parse_errors: list[Finding] = []
+
+    def add_module(self, module: ModuleInfo) -> None:
+        self.modules[module.name] = module
+        self.modules_by_rel[module.rel_path] = module
+        self.modules_by_path[module.path] = module
+
+    def suppressions_for(self, finding: Finding) -> frozenset[str]:
+        """Suppression ids effective at a finding's location."""
+        module = self.modules_by_path.get(finding.path)
+        if module is None:
+            return frozenset()
+        return module.suppressions.get(finding.line, frozenset())
+
+
+def _module_name(path: str, rel_path: str) -> tuple[str, bool]:
+    """Dotted module name and package-ness for *path* / *rel_path*."""
+    stem = rel_path[:-3] if rel_path.endswith(".py") else rel_path
+    parts = [part for part in stem.split("/") if part]
+    is_package = bool(parts) and parts[-1] == "__init__"
+    if is_package:
+        parts = parts[:-1]
+    norm = PurePosixPath(str(path).replace(os.sep, "/")).parts
+    if "repro" in norm:
+        parts = ["repro", *parts]
+    if not parts:
+        parts = [PurePosixPath(rel_path).stem or "module"]
+    return ".".join(parts), is_package
+
+
+def _collect_imports(module: ModuleInfo) -> None:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if alias.asname is not None:
+                    module.imports[alias.asname] = alias.name
+                else:
+                    module.imports.setdefault(top, top)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                parts = module.name.split(".")
+                if not module.is_package:
+                    parts = parts[:-1]
+                keep = len(parts) - (node.level - 1)
+                parts = parts[: max(keep, 0)]
+                if node.module:
+                    parts = parts + node.module.split(".")
+                base = ".".join(parts)
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                module.imports[local] = f"{base}.{alias.name}" if base else alias.name
+
+
+def _collect_definitions(project: ProjectModel, module: ModuleInfo) -> None:
+    def visit_function(
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        namespace: str,
+        owner: ClassInfo | None,
+        parent: FunctionInfo | None,
+    ) -> FunctionInfo:
+        info = FunctionInfo(
+            qname=f"{namespace}.{node.name}",
+            name=node.name,
+            module=module,
+            node=node,
+            owner=owner,
+            parent=parent,
+        )
+        project.functions[info.qname] = info
+        for child in ast.iter_child_nodes(node):
+            visit_body_node(child, f"{info.qname}.<locals>", None, info)
+        return info
+
+    def visit_class(node: ast.ClassDef, namespace: str) -> ClassInfo:
+        info = ClassInfo(
+            qname=f"{namespace}.{node.name}",
+            name=node.name,
+            module=module,
+            node=node,
+        )
+        project.classes[info.qname] = info
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = visit_function(child, info.qname, info, None)
+                info.methods[method.name] = method
+            elif isinstance(child, ast.ClassDef):
+                visit_class(child, info.qname)
+        return info
+
+    def visit_body_node(
+        node: ast.AST,
+        namespace: str,
+        owner: ClassInfo | None,
+        parent: FunctionInfo | None,
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested = visit_function(node, namespace, owner, parent)
+            if parent is not None:
+                parent.nested[nested.name] = nested
+        elif isinstance(node, ast.ClassDef):
+            visit_class(node, namespace)
+        else:
+            for child in ast.iter_child_nodes(node):
+                visit_body_node(child, namespace, owner, parent)
+
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = visit_function(stmt, module.name, None, None)
+            module.functions[info.name] = info
+        elif isinstance(stmt, ast.ClassDef):
+            cls = visit_class(stmt, module.name)
+            module.classes[cls.name] = cls
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                visit_body_node(child, module.name, None, None)
+
+
+def iter_project_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def load_project(paths: Iterable[str | Path]) -> ProjectModel:
+    """Parse every module under *paths* into one :class:`ProjectModel`.
+
+    Unparseable files become :data:`~repro.analysis.findings.PARSE_ERROR_ID`
+    entries in ``parse_errors`` and are excluded from the model.
+    """
+    project = ProjectModel()
+    for file_path in iter_project_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        path = str(file_path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            line = exc.lineno if exc.lineno is not None else 1
+            col = exc.offset if exc.offset is not None else 0
+            project.parse_errors.append(
+                Finding(PARSE_ERROR_ID, path, line, col, f"syntax error: {exc.msg}")
+            )
+            continue
+        rel_path = module_rel_path(path)
+        name, is_package = _module_name(path, rel_path)
+        module = ModuleInfo(
+            path=path,
+            rel_path=rel_path,
+            name=name,
+            source=source,
+            tree=tree,
+            is_package=is_package,
+            suppressions=effective_suppressions(source, parse_suppressions(source)),
+            guard_comments=parse_guard_comments(source),
+        )
+        _collect_imports(module)
+        _collect_definitions(project, module)
+        project.add_module(module)
+    return project

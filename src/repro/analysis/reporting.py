@@ -1,15 +1,25 @@
-"""Finding reporters: terminal text and machine-readable JSON (system S24)."""
+"""Finding reporters: text, JSON and SARIF (system S24).
+
+The SARIF renderer targets SARIF 2.1.0 so lint/check findings can be
+uploaded to GitHub code scanning and annotate pull requests in place.
+"""
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict
 from typing import Sequence
 
-from repro.analysis.findings import Finding
+from repro.analysis.findings import PARSE_ERROR_ID, Finding
+from repro.analysis.visitor import project_rule_catalog, rule_catalog
 
 #: Schema version of the JSON report; bump on shape changes.
 JSON_REPORT_VERSION = 1
+
+#: SARIF schema targeted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def render_text(findings: Sequence[Finding], files_checked: int) -> str:
@@ -39,5 +49,84 @@ def render_json(findings: Sequence[Finding], files_checked: int) -> str:
         "files_checked": files_checked,
         "counts": rule_counts(findings),
         "findings": [asdict(finding) for finding in findings],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _sarif_rules() -> list[dict[str, object]]:
+    descriptors: list[dict[str, object]] = [
+        {
+            "id": PARSE_ERROR_ID,
+            "shortDescription": {"text": "file could not be parsed"},
+            "fullDescription": {
+                "text": "The analysis engine failed to parse this file; "
+                "nothing in it was checked."
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    ]
+    merged: dict[str, tuple[str, str]] = {}
+    for rule_id, rule_class in rule_catalog().items():
+        merged[rule_id] = (rule_class.title, rule_class.rationale)
+    for rule_id, project_rule in project_rule_catalog().items():
+        merged[rule_id] = (project_rule.title, project_rule.rationale)
+    for rule_id, (title, rationale) in sorted(merged.items()):
+        descriptors.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": title},
+                "fullDescription": {"text": rationale},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return descriptors
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    files_checked: int,
+    tool_name: str = "repro-lint",
+) -> str:
+    """SARIF 2.1.0 log for GitHub code scanning and other SARIF sinks."""
+    results: list[dict[str, object]] = []
+    for finding in findings:
+        uri = finding.path.replace(os.sep, "/")
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": uri},
+                            "region": {
+                                "startLine": max(finding.line, 1),
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": (
+                            "https://github.com/repro/repro/blob/main/"
+                            "docs/DEVELOPMENT.md"
+                        ),
+                        "rules": _sarif_rules(),
+                    }
+                },
+                "properties": {"filesChecked": files_checked},
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2)

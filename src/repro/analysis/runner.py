@@ -4,11 +4,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.engine import lint_paths
-from repro.analysis.reporting import render_json, render_text
+from repro.analysis.findings import PARSE_ERROR_ID
+from repro.analysis.reporting import render_json, render_sarif, render_text
 from repro.analysis.visitor import rule_catalog
 
 
@@ -31,7 +33,12 @@ def run_lint(
     rule_ids: Sequence[str] | None = None,
     show_rules: bool = False,
 ) -> int:
-    """Lint *paths*; returns 0 clean, 1 with findings, 2 on usage errors."""
+    """Lint *paths*.
+
+    Exit codes: 0 clean, 1 rule findings, 2 when the analysis itself
+    could not run — missing path, unknown rule id, unparseable file
+    (a LINT000 finding) or an engine crash.
+    """
     if show_rules:
         print(list_rules())
         return 0
@@ -45,8 +52,18 @@ def run_lint(
     except ValueError as exc:  # unknown rule id in --rules
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    renderer = render_json if output_format == "json" else render_text
-    print(renderer(findings, checked))
+    except Exception:  # engine crash: report, never masquerade as clean
+        print("error: analysis crashed", file=sys.stderr)
+        traceback.print_exc()
+        return 2
+    if output_format == "json":
+        print(render_json(findings, checked))
+    elif output_format == "sarif":
+        print(render_sarif(findings, checked, tool_name="repro-lint"))
+    else:
+        print(render_text(findings, checked))
+    if any(finding.rule_id == PARSE_ERROR_ID for finding in findings):
+        return 2
     return 1 if findings else 0
 
 
@@ -57,7 +74,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(

@@ -1,0 +1,75 @@
+"""Suppression-comment parsing shared by the linter and the checker (S24).
+
+``# repro: allow[RULE]`` comments are the one escape hatch from every
+analysis gate.  The grammar lives here, dependency-free, so both the
+per-file engine (:mod:`repro.analysis.engine`) and the whole-program
+checker (:mod:`repro.analysis.checker`) can consume it without import
+cycles.
+
+A suppression covers its own line; a comment alone on a line also
+propagates down through further comment-only lines onto the first code
+line below, so multi-line statements can be annotated above their first
+line.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_ALLOW_PATTERN = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """``# repro: allow[...]`` comments by the line they are written on."""
+    comments: dict[int, frozenset[str]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return comments
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_PATTERN.search(token.string)
+        if match is None:
+            continue
+        ids = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        if ids:
+            line = token.start[0]
+            comments[line] = comments.get(line, frozenset()) | ids
+    return comments
+
+
+def effective_suppressions(
+    source: str, comments: dict[int, frozenset[str]]
+) -> dict[int, frozenset[str]]:
+    """Per-line suppression map.
+
+    A suppression covers its own line; when the comment stands alone on
+    its line it also propagates down through any further comment-only
+    lines onto the first code line below (so a multi-line explanation
+    above a statement suppresses the statement).
+    """
+    lines = source.splitlines()
+    effective: dict[int, frozenset[str]] = {}
+
+    def extend(line: int, ids: frozenset[str]) -> None:
+        effective[line] = effective.get(line, frozenset()) | ids
+
+    def is_comment_only(line: int) -> bool:
+        text = lines[line - 1] if 0 < line <= len(lines) else ""
+        return text.lstrip().startswith("#")
+
+    for line, ids in comments.items():
+        extend(line, ids)
+        if is_comment_only(line):
+            below = line + 1
+            while below <= len(lines) and is_comment_only(below):
+                extend(below, ids)
+                below += 1
+            extend(below, ids)
+    return effective

@@ -24,9 +24,13 @@ from __future__ import annotations
 import ast
 import os
 from pathlib import PurePosixPath
-from typing import ClassVar, Iterator, Mapping, Type
+from typing import TYPE_CHECKING, ClassVar, Iterator, Mapping, Type
 
 from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.analysis.callgraph import CallGraph
+    from repro.analysis.project import ProjectModel
 
 
 def module_rel_path(path: str) -> str:
@@ -139,13 +143,61 @@ def register(rule_class: Type[Rule]) -> Type[Rule]:
 
 
 def rule_catalog() -> dict[str, Type[Rule]]:
-    """All registered rules, keyed and sorted by rule id."""
+    """All registered per-file rules, keyed and sorted by rule id."""
     return dict(sorted(_REGISTRY.items()))
 
 
+class ProjectRule:
+    """Base class for whole-program rules run by ``repro check``.
+
+    Unlike :class:`Rule`, a project rule sees every module at once: it is
+    handed the parsed :class:`~repro.analysis.project.ProjectModel` and the
+    resolved :class:`~repro.analysis.callgraph.CallGraph` and returns its
+    findings directly.  Suppression comments are applied by the checker
+    afterwards, exactly as the engine does for per-file rules.
+    """
+
+    rule_id: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+    #: path prefixes (relative to the package root) the rule reasons about;
+    #: informational — project rules decide scope themselves
+    scopes: ClassVar[tuple[str, ...]] = ()
+
+    def check(self, project: "ProjectModel", graph: "CallGraph") -> list[Finding]:
+        """Analyse the whole project; return the rule's findings."""
+        raise NotImplementedError
+
+
+_PROJECT_REGISTRY: dict[str, Type[ProjectRule]] = {}
+
+
+def register_project(rule_class: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a whole-program rule to the registry."""
+    if not rule_class.rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if rule_class.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.rule_id!r}")
+    existing = _PROJECT_REGISTRY.get(rule_class.rule_id)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"duplicate rule id {rule_class.rule_id!r}")
+    _PROJECT_REGISTRY[rule_class.rule_id] = rule_class
+    return rule_class
+
+
+def project_rule_catalog() -> dict[str, Type[ProjectRule]]:
+    """All registered whole-program rules, keyed and sorted by rule id."""
+    return dict(sorted(_PROJECT_REGISTRY.items()))
+
+
 def known_rule_ids() -> frozenset[str]:
-    """The set of registered rule ids."""
-    return frozenset(_REGISTRY)
+    """Every registered rule id — per-file and whole-program alike.
+
+    LINT001 validates suppression comments against this set, so adding a
+    ``# repro: allow[CONC001]`` to a module the per-file linter also scans
+    must not itself be a lint violation.
+    """
+    return frozenset(_REGISTRY) | frozenset(_PROJECT_REGISTRY)
 
 
 def walk_module(tree: ast.Module, rules: list[Rule], ctx: LintContext) -> None:

@@ -235,6 +235,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_from_args(args)
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.checker import check_from_args
+
+    return check_from_args(args)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import repro.faults as faults
     from repro.service import JobJournal, MiningService, RetryPolicy
@@ -430,6 +436,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    check = sub.add_parser(
+        "check",
+        help="run the whole-program analysis (call graph, CONC/FLOW/HOT rules)",
+    )
+    from repro.analysis.checker import add_check_arguments
+
+    add_check_arguments(check)
+    check.set_defaults(func=_cmd_check)
 
     algos = sub.add_parser("algorithms", help="list registered algorithms")
     algos.set_defaults(func=_cmd_algorithms)

@@ -146,6 +146,8 @@ def _disc_all(
     # Step 1(a): one scan finds the frequent 1-sequences.
     frequent_items = count_frequent_items(members, delta)
     metrics.counter("counting.frequent", k=1).add(len(frequent_items))
+    # repro: allow[FLOW002] — one pass over the already-counted frequent
+    # 1-sequences; cancellation polls at the partition loop below
     for item, count in frequent_items.items():
         out.patterns[((item,),)] = count
     item_set = frozenset(frequent_items)
@@ -195,16 +197,21 @@ def _process_first_level(
     array.observe_all(group)
     frequent_pairs = set()
     found_pairs = 0
+    # repro: allow[FLOW002] — bounded by the counting array's result;
+    # cancellation polls once per partition in the caller
     for pattern, count in array.frequent(delta):
         out.patterns[pattern] = count
         found_pairs += 1
     metrics.counter("counting.frequent", k=2).add(found_pairs)
+    # repro: allow[FLOW002] — bounded by the pair-count table
     for pair, count in array.counts().items():
         if count >= delta:
             frequent_pairs.add(pair)
 
     # Step 2.1.2: reduce sequences and build second-level partitions.
     reduced: list[Member] = []
+    # repro: allow[FLOW002] — one reduction pass over this partition's
+    # members; per-partition granularity is the checkpoint contract
     for cid, seq in group:
         if reduce:
             shorter = reduce_sequence(seq, lam, frequent_items, frequent_pairs)
@@ -241,6 +248,8 @@ def _process_second_level(
     array.observe_all(sp_group)
     frequent_k = {pattern: count for pattern, count in array.frequent(delta)}
     metrics.counter("counting.frequent", k=3).add(len(frequent_k))
+    # repro: allow[FLOW002] — bounded copy of the k=3 result table; the
+    # k>=4 while-loop below polls the cancel token every round
     for pattern, count in frequent_k.items():
         out.patterns[pattern] = count
 

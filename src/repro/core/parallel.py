@@ -64,6 +64,8 @@ def disc_all_parallel(
     out = DiscAllOutput()
     frequent_items = count_frequent_items(members, delta)
     obs.metrics.counter("counting.frequent", k=1).add(len(frequent_items))
+    # repro: allow[FLOW002] — one pass over the already-counted frequent
+    # 1-sequences; cancellation polls in the job-building loop below
     for item, count in frequent_items.items():
         out.patterns[((item,),)] = count
     item_set = frozenset(frequent_items)
@@ -83,6 +85,7 @@ def disc_all_parallel(
     job_sizes = obs.metrics.histogram("parallel.job_size")
     # repro: allow[DISC002] — scalar int items, not sequences
     for lam in sorted(frequent_items):
+        token.checkpoint()
         if recorder.should_skip(lam):
             continue  # already mined by the run this one resumes
         group = [

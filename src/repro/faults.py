@@ -38,7 +38,7 @@ import random
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from repro.exceptions import InjectedFaultError, InvalidParameterError
 
@@ -114,7 +114,7 @@ class FaultPlan:
     threads observe one global hit sequence per site.
     """
 
-    def __init__(self, rules: Iterator[FaultRule] | list[FaultRule] = (),
+    def __init__(self, rules: Iterable[FaultRule] = (),
                  seed: int = 0) -> None:
         self._rules: dict[str, FaultRule] = {}
         for rule in rules:

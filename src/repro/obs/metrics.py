@@ -17,6 +17,7 @@ method call per event and allocates nothing — see
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Iterable, Iterator
 
@@ -153,32 +154,43 @@ Metric = Counter | Gauge | Histogram
 
 
 class MetricsRegistry:
-    """Get-or-create registry of named (optionally labelled) metrics."""
+    """Get-or-create registry of named (optionally labelled) metrics.
 
-    __slots__ = ("_metrics",)
+    The registry is shared across the service's worker and HTTP threads,
+    so the get-or-create table is lock-protected: without it two threads
+    racing on a first ``counter(name)`` call each build their own handle
+    and one of the two loses every increment it ever records.  Handle
+    mutators (``Counter.add`` etc.) stay lock-free by design — the hot
+    loop only ever touches pre-fetched handles.
+    """
+
+    __slots__ = ("_lock", "_metrics")
 
     def __init__(self) -> None:
-        self._metrics: dict[tuple[str, LabelItems], Metric] = {}
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple[str, LabelItems], Metric] = {}  # guarded-by: _lock
 
     def counter(self, name: str, **labels: object) -> Counter:
         """The counter registered under ``(name, labels)``."""
         key = (name, _label_items(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = Counter(name, key[1])
-            self._metrics[key] = metric
-        elif not isinstance(metric, Counter):
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = Counter(name, key[1])
+                self._metrics[key] = metric
+        if not isinstance(metric, Counter):
             raise TypeError(f"{name!r} is already a {type(metric).__name__}")
         return metric
 
     def gauge(self, name: str, **labels: object) -> Gauge:
         """The gauge registered under ``(name, labels)``."""
         key = (name, _label_items(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = Gauge(name, key[1])
-            self._metrics[key] = metric
-        elif not isinstance(metric, Gauge):
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = Gauge(name, key[1])
+                self._metrics[key] = metric
+        if not isinstance(metric, Gauge):
             raise TypeError(f"{name!r} is already a {type(metric).__name__}")
         return metric
 
@@ -190,35 +202,43 @@ class MetricsRegistry:
     ) -> Histogram:
         """The histogram registered under ``(name, labels)``."""
         key = (name, _label_items(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = Histogram(name, bounds, key[1])
-            self._metrics[key] = metric
-        elif not isinstance(metric, Histogram):
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = Histogram(name, bounds, key[1])
+                self._metrics[key] = metric
+        if not isinstance(metric, Histogram):
             raise TypeError(f"{name!r} is already a {type(metric).__name__}")
         return metric
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def __iter__(self) -> Iterator[Metric]:
-        yield from self._metrics.values()
+        with self._lock:
+            metrics = list(self._metrics.values())
+        yield from metrics
 
     def counter_total(self, name: str) -> int:
         """Sum of all counters named *name*, across every label set."""
+        with self._lock:
+            metrics = list(self._metrics.values())
         return sum(
             metric.value
-            for metric in self._metrics.values()
+            for metric in metrics
             if isinstance(metric, Counter) and metric.name == name
         )
 
     def snapshot(self) -> dict[str, dict[str, object]]:
         """All metrics as plain data, keyed by rendered name."""
+        with self._lock:
+            entries = list(self._metrics.items())
         # repro: allow[DISC002] — (name, labels) string keys, not sequences
         return {
             render_name(name, labels): metric.snapshot()
             for (name, labels), metric in sorted(
-                self._metrics.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+                entries, key=lambda kv: (kv[0][0], str(kv[0][1]))
             )
         }
 

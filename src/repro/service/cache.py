@@ -43,8 +43,7 @@ def freeze_options(options: Mapping[str, object] | None) -> FrozenOptions:
                 f"option {name!r} has unhashable value {value!r}; "
                 "cacheable miner options must be scalars"
             ) from None
-    # repro: allow[DISC002] — option name strings, not sequences
-    return tuple(sorted(options.items()))
+    return tuple(sorted(options.items(), key=lambda kv: kv[0]))
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,9 +66,9 @@ class ResultCache:
             )
         self.max_entries = max_entries
         self._lock = threading.Lock()
-        self._entries: OrderedDict[CacheKey, MiningResult] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self._entries: OrderedDict[CacheKey, MiningResult] = OrderedDict()  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
 
     def get(self, key: CacheKey) -> MiningResult | None:
         """The cached result for *key*, refreshing its LRU position."""

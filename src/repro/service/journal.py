@@ -60,7 +60,7 @@ class JobJournal:
                 f"journal path {self._path} is a directory; pass a file path"
             )
         self._lock = threading.Lock()
-        self._handle = open(self._path, "a", encoding="utf-8")
+        self._handle = open(self._path, "a", encoding="utf-8")  # guarded-by: _lock
 
     @property
     def path(self) -> Path:

@@ -43,7 +43,7 @@ class DatabaseRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._by_name: dict[str, RegisteredDatabase] = {}
+        self._by_name: dict[str, RegisteredDatabase] = {}  # guarded-by: _lock
 
     def register(
         self, name: str, db: SequenceDatabase

@@ -136,11 +136,11 @@ class JobScheduler:
         self._metrics = metrics if metrics is not None else NoopMetricsRegistry()
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_size)
         self._lock = threading.Lock()
-        self._jobs: dict[str, Job] = {}
-        self._finished_order: deque[str] = deque()
+        self._jobs: dict[str, Job] = {}  # guarded-by: _lock
+        self._finished_order: deque[str] = deque()  # guarded-by: _lock
         self._job_history = job_history
-        self._ids = itertools.count(1)
-        self._closed = False
+        self._ids = itertools.count(1)  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         self._depth = self._metrics.gauge("service.queue_depth")
         self._rejected = self._metrics.counter("service.rejected")
         self._retries = self._metrics.counter("service.retries")
@@ -312,7 +312,8 @@ class JobScheduler:
     @property
     def closed(self) -> bool:
         """True once :meth:`close` has begun."""
-        return self._closed
+        with self._lock:
+            return self._closed
 
     # -- internals -----------------------------------------------------------
 
@@ -353,12 +354,11 @@ class JobScheduler:
                 self._finish(job, CANCELLED, str(exc), code)
                 return
             except Exception as exc:  # keep the worker alive on runner bugs
-                if self._retry_allowed(job, exc):
+                policy = self._retry_policy
+                if policy is not None and self._retry_allowed(job, exc):
                     self._retries.add(1)
                     self._notify(job, "retry")
-                    if self._backoff_wait(job, backoff_delay(
-                        job.attempts, self._retry_policy  # type: ignore[arg-type]
-                    )):
+                    if self._backoff_wait(job, backoff_delay(job.attempts, policy)):
                         self._finish(
                             job, CANCELLED,
                             job.token.reason or "cancelled during retry backoff",
@@ -380,11 +380,14 @@ class JobScheduler:
 
     def _retry_allowed(self, job: Job, exc: BaseException) -> bool:
         policy = self._retry_policy
+        if policy is None:
+            return False
+        with self._lock:
+            closed = self._closed
         return (
-            policy is not None
+            not closed
             and classify(exc) == RETRYABLE
             and job.attempts <= policy.max_retries
-            and not self._closed
             and not job.token.cancelled()
         )
 
@@ -392,7 +395,9 @@ class JobScheduler:
         """Sleep *delay* seconds in slices; True when interrupted."""
         end = time.monotonic() + delay
         while True:
-            if self._closed or job.token.cancelled():
+            with self._lock:
+                closed = self._closed
+            if closed or job.token.cancelled():
                 return True
             remaining = end - time.monotonic()
             if remaining <= 0:

@@ -33,7 +33,7 @@ from __future__ import annotations
 import math
 import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.core.checkpoint import MiningCheckpoint
 from repro.db.database import SequenceDatabase
@@ -116,7 +116,7 @@ class MiningService:
         #: ids of jobs this process journaled an "accepted" record for;
         #: lifecycle events of any other job (cache hits, pre-journal
         #: submissions) are not journaled
-        self._journaled: set[str] = set()
+        self._journaled: set[str] = set()  # guarded-by: _journaled_lock
         self._journaled_lock = threading.Lock()
         self.scheduler = JobScheduler(
             self._run_job,
@@ -427,7 +427,7 @@ class MiningService:
                 self._absorb_report(result.report)
         return MineOutcome(result, cached=False)
 
-    def _checkpoint_sink(self, job: Job):
+    def _checkpoint_sink(self, job: Job) -> Callable[[MiningCheckpoint], None]:
         """A per-job sink journaling partition-boundary checkpoints.
 
         Every emitted checkpoint refreshes the in-memory ``job.progress``

@@ -1,0 +1,5 @@
+"""Callgraph fixture package: re-exports the util helper."""
+
+from repro.app.util import helper
+
+__all__ = ["helper"]

@@ -1,0 +1,16 @@
+"""Callgraph fixture: aliased imports, typed receivers, dynamic calls."""
+
+import repro.app.util as u
+from repro.app import helper as h
+from repro.app.models import Child
+
+
+def run() -> int:
+    child = Child()
+    child.greet()
+    return h() + u.twice()
+
+
+def dynamic(factory):
+    fn = factory()
+    return fn()

@@ -1,0 +1,17 @@
+"""Callgraph fixture: methods, inheritance and super() dispatch."""
+
+
+class Base:
+    def greet(self) -> str:
+        return "base"
+
+    def call_greet(self) -> str:
+        return self.greet()
+
+
+class Child(Base):
+    def greet(self) -> str:
+        return "child"
+
+    def super_greet(self) -> str:
+        return super().greet()

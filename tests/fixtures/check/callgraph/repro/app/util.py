@@ -1,0 +1,9 @@
+"""Callgraph fixture: module-level functions."""
+
+
+def helper() -> int:
+    return 1
+
+
+def twice() -> int:
+    return helper() + helper()

@@ -1,0 +1,42 @@
+"""CONC001 fixture: guarded-by discipline, good and bad."""
+
+import threading
+
+
+class Store:
+    """One guarded attribute, accessed every way the rule judges."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def flush(self):
+        with self._lock:
+            return self._drain_locked()
+
+    def _drain_locked(self):
+        drained = list(self._items)
+        self._items.clear()
+        return drained
+
+    def size(self):
+        return len(self._items)
+
+    def peek(self):
+        return self._items[-1]  # repro: allow[CONC001]
+
+
+class Unannotated:
+    """Constructs a lock but declares nothing guarded: the meta-check."""
+
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._mutex:
+            self._count += 1

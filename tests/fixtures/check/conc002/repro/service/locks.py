@@ -1,0 +1,43 @@
+"""CONC002 fixture: two lock pairs acquired in opposite orders."""
+
+import threading
+
+
+class Deadlocker:
+    """a -> b lexically, b -> a through a call made under the lock."""
+
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                return 1
+
+    def backward(self):
+        with self._b:
+            return self._locked_a()
+
+    def _locked_a(self):
+        with self._a:
+            return 2
+
+
+class SuppressedDeadlocker:
+    """The same cycle, with the reported edge suppressed."""
+
+    def __init__(self):
+        self._c = threading.Lock()
+        self._d = threading.Lock()
+
+    def forward(self):
+        with self._c:
+            # repro: allow[CONC002] — demonstration fixture
+            with self._d:
+                return 1
+
+    def backward(self):
+        with self._d:
+            with self._c:
+                return 2

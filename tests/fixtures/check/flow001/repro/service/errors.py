@@ -1,0 +1,17 @@
+"""FLOW001 fixture: a mini Repro error hierarchy."""
+
+
+class ReproError(Exception):
+    """Base of every service-visible error."""
+
+
+class MappedError(ReproError):
+    """Has an _ERROR_STATUS row."""
+
+
+class UnmappedError(ReproError):
+    """Reachable from a handler, no status mapping: the violation."""
+
+
+class SuppressedError(ReproError):
+    """Unmapped too, but its raise carries an allow comment."""

@@ -1,0 +1,31 @@
+"""FLOW001 fixture: handlers raising mapped and unmapped errors."""
+
+from repro.service.errors import (
+    MappedError,
+    SuppressedError,
+    UnmappedError,
+)
+
+_ERROR_STATUS = (
+    (MappedError, 404, "missing"),
+)
+
+
+class Handler:
+    def do_GET(self):
+        self._lookup()
+        self._explode()
+        self._quiet()
+
+    def _lookup(self):
+        raise MappedError("mapped: has a status row")
+
+    def _explode(self):
+        raise UnmappedError("no status row: surfaces as a bare 500")
+
+    def _quiet(self):
+        raise SuppressedError("acknowledged")  # repro: allow[FLOW001]
+
+
+def unreachable_helper():
+    raise UnmappedError("not reachable from any do_* handler")

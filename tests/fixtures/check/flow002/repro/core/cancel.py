@@ -1,0 +1,10 @@
+"""FLOW002 fixture: the cancel-token vocabulary."""
+
+
+class CancelToken:
+    def checkpoint(self) -> None:
+        return None
+
+
+def active_token() -> CancelToken:
+    return CancelToken()

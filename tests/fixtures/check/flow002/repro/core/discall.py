@@ -1,0 +1,40 @@
+"""FLOW002 fixture: loops with and without a reachable checkpoint."""
+
+from repro.core.cancel import CancelToken, active_token
+
+
+def polite(items: list[int]) -> int:
+    token = active_token()
+    total = 0
+    for item in items:
+        token.checkpoint()
+        total += item
+    return total
+
+
+def indirect(items: list[int]) -> int:
+    token = active_token()
+    total = 0
+    for item in items:
+        total += _step(token, item)
+    return total
+
+
+def _step(token: CancelToken, item: int) -> int:
+    token.checkpoint()
+    return item
+
+
+def rude(items: list[int]) -> int:
+    total = 0
+    for item in items:
+        total += item
+    return total
+
+
+def acknowledged(items: list[int]) -> int:
+    total = 0
+    # repro: allow[FLOW002] — demonstration fixture
+    for item in items:
+        total += item
+    return total

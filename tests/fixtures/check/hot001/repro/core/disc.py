@@ -1,0 +1,21 @@
+"""HOT001 fixture: discovery loops, hygienic and not."""
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def hot_loop(items: list[int], registry: MetricsRegistry) -> int:
+    total = 0
+    handle = registry.counter("disc.rounds")
+    while items:
+        handle.add(1)
+        registry.counter("disc.steps").add(1)
+        total += items.pop()
+    return total
+
+
+def acknowledged_loop(items: list[int], registry: MetricsRegistry) -> int:
+    total = 0
+    while items:
+        registry.counter("disc.steps").add(1)  # repro: allow[HOT001]
+        total += items.pop()
+    return total

@@ -1,0 +1,22 @@
+"""HOT001 fixture: a mini metrics vocabulary (handles + registry)."""
+
+
+class Counter:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class MetricsRegistry:
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Counter(name)
+            self._metrics[name] = metric
+        return metric

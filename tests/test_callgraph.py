@@ -1,0 +1,115 @@
+"""Tests for the project model and call graph (repro.analysis).
+
+Runs over the dedicated multi-file fixture package under
+``tests/fixtures/check/callgraph/``: module functions, methods resolved
+through the MRO, aliased and re-exported imports, typed receivers, and
+the documented-unresolvable dynamic calls.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.project import load_project, parse_guard_comments
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURE = REPO_ROOT / "tests" / "fixtures" / "check" / "callgraph"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_call_graph(load_project([FIXTURE]))
+
+
+def callees(graph, qname: str) -> list[str]:
+    return sorted(
+        site.callee for site in graph.calls_from(qname) if site.callee is not None
+    )
+
+
+class TestProjectModel:
+    def test_fixture_modules_get_real_dotted_names(self, graph):
+        project = graph.project
+        assert "repro.app" in project.modules
+        assert "repro.app.util" in project.modules
+        assert project.modules["repro.app"].is_package
+        assert not project.modules["repro.app.util"].is_package
+
+    def test_rel_paths_anchor_at_the_repro_component(self, graph):
+        module = graph.project.modules["repro.app.main"]
+        assert module.rel_path == "app/main.py"
+
+    def test_classes_and_methods_are_indexed(self, graph):
+        project = graph.project
+        cls = project.classes["repro.app.models.Child"]
+        assert set(cls.methods) == {"greet", "super_greet"}
+        fn = project.functions["repro.app.models.Child.greet"]
+        assert fn.is_method and fn.owner is cls
+
+    def test_guard_comment_parser(self):
+        source = "class C:\n    x: int = 0  # guarded-by: _lock\n"
+        assert parse_guard_comments(source) == {2: "_lock"}
+
+
+class TestResolution:
+    def test_module_function_calls(self, graph):
+        assert callees(graph, "repro.app.util.twice") == [
+            "repro.app.util.helper",
+            "repro.app.util.helper",
+        ]
+
+    def test_aliased_and_reexported_imports(self, graph):
+        # ``from repro.app import helper as h`` resolves through the
+        # package __init__ re-export; ``import repro.app.util as u``
+        # resolves the dotted u.twice() chain.
+        found = callees(graph, "repro.app.main.run")
+        assert "repro.app.util.helper" in found
+        assert "repro.app.util.twice" in found
+
+    def test_constructor_types_the_receiver(self, graph):
+        # child = Child(); child.greet() dispatches on the inferred type
+        assert "repro.app.models.Child.greet" in callees(
+            graph, "repro.app.main.run"
+        )
+
+    def test_self_call_resolves_through_the_mro(self, graph):
+        assert callees(graph, "repro.app.models.Base.call_greet") == [
+            "repro.app.models.Base.greet"
+        ]
+
+    def test_super_dispatches_to_the_base(self, graph):
+        assert "repro.app.models.Base.greet" in callees(
+            graph, "repro.app.models.Child.super_greet"
+        )
+
+    def test_dynamic_dispatch_is_unresolved_with_a_reason(self, graph):
+        sites = graph.calls_from("repro.app.main.dynamic")
+        assert sites, "the dynamic calls must still be recorded"
+        assert all(site.callee is None for site in sites)
+        assert all(site.reason for site in sites)
+
+    def test_calls_to_inverts_the_edges(self, graph):
+        callers = sorted(
+            site.caller.qname for site in graph.calls_to("repro.app.util.helper")
+        )
+        assert callers == [
+            "repro.app.main.run",
+            "repro.app.util.twice",
+            "repro.app.util.twice",
+        ]
+
+
+class TestReachability:
+    def test_reachable_closure(self, graph):
+        reached = graph.reachable(["repro.app.main.run"])
+        assert "repro.app.util.helper" in reached
+        assert "repro.app.util.twice" in reached
+        assert "repro.app.models.Child.greet" in reached
+        # Base.call_greet is never called from run
+        assert "repro.app.models.Base.call_greet" not in reached
+
+    def test_reachable_of_nothing_is_empty(self, graph):
+        assert graph.reachable([]) == set()

@@ -1,0 +1,185 @@
+"""Tests for the whole-program checker (repro check).
+
+Covers the per-rule fixture packages under ``tests/fixtures/check/``,
+the suppression hygiene of each rule, the reporters, the CLI exit codes
+— and the gate itself: the checker must report zero findings over
+``src/repro``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_paths, project_rule_catalog, render_sarif
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "check"
+
+
+def findings_of(fixture: str, rule: str) -> list[tuple[str, int]]:
+    findings, _ = check_paths([FIXTURES / fixture], rule_ids=[rule])
+    return [(f.rule_id, f.line) for f in findings]
+
+
+class TestGate:
+    """The repo's own source must stay check-clean (the pytest gate)."""
+
+    def test_src_is_clean(self):
+        findings, checked = check_paths([SRC])
+        assert checked > 50
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestConc001:
+    def test_unguarded_access_and_undeclared_lock(self):
+        # line 27: Store.size reads _items with no lock and no callers
+        # holding it; line 33: Unannotated owns a lock, declares nothing.
+        assert findings_of("conc001", "CONC001") == [
+            ("CONC001", 27),
+            ("CONC001", 33),
+        ]
+
+    def test_suppressed_access_stays_silent(self):
+        # Store.peek (line 30) violates too but carries an allow comment.
+        assert ("CONC001", 30) not in findings_of("conc001", "CONC001")
+
+    def test_lexical_and_caller_held_accesses_are_clean(self):
+        # Store.add (lexical with) and Store._drain_locked (every call
+        # site holds the lock) produce nothing: only size/Unannotated.
+        lines = [line for _, line in findings_of("conc001", "CONC001")]
+        assert lines == [27, 33]
+
+
+class TestConc002:
+    def test_opposite_order_cycle(self):
+        # Deadlocker: a -> b lexically, b -> a through _locked_a().
+        assert findings_of("conc002", "CONC002") == [("CONC002", 15)]
+
+    def test_suppressed_cycle_stays_silent(self):
+        # SuppressedDeadlocker has the same shape; its reported edge
+        # (line 36) carries the allow comment.
+        found = findings_of("conc002", "CONC002")
+        assert all(line < 20 for _, line in found), found
+
+
+class TestFlow001:
+    def test_unmapped_error_reachable_from_handler(self):
+        assert findings_of("flow001", "FLOW001") == [("FLOW001", 24)]
+
+    def test_mapped_suppressed_and_unreachable_are_silent(self):
+        # MappedError has a status row; SuppressedError's raise carries
+        # an allow comment; unreachable_helper is not reachable from any
+        # do_* handler.  Only the UnmappedError raise fires.
+        lines = [line for _, line in findings_of("flow001", "FLOW001")]
+        assert lines == [24]
+
+
+class TestFlow002:
+    def test_loop_without_checkpoint(self):
+        assert findings_of("flow002", "FLOW002") == [("FLOW002", 30)]
+
+    def test_lexical_and_transitive_checkpoints_are_clean(self):
+        # polite() checkpoints lexically, indirect() through _step();
+        # acknowledged() carries the allow comment.  Only rude() fires.
+        lines = [line for _, line in findings_of("flow002", "FLOW002")]
+        assert lines == [30]
+
+
+class TestHot001:
+    def test_registry_lookup_inside_the_loop(self):
+        assert findings_of("hot001", "HOT001") == [("HOT001", 11)]
+
+    def test_prefetched_handle_and_suppression_are_clean(self):
+        # handle.add(1) is a pre-fetched mutator (allowed); the
+        # acknowledged_loop lookup (line 19) carries the allow comment.
+        lines = [line for _, line in findings_of("hot001", "HOT001")]
+        assert lines == [11]
+
+
+class TestCatalog:
+    def test_every_project_rule_is_documented(self):
+        catalog = project_rule_catalog()
+        for rule_id in ("CONC001", "CONC002", "FLOW001", "FLOW002", "HOT001"):
+            assert rule_id in catalog
+            assert catalog[rule_id].title
+            assert catalog[rule_id].rationale
+            assert catalog[rule_id].scopes
+
+    def test_unknown_rule_selection_raises(self):
+        with pytest.raises(ValueError, match="unknown rule id"):
+            check_paths([FIXTURES / "conc001"], rule_ids=["NOPE001"])
+
+
+class TestCli:
+    def test_check_src_exits_zero(self, capsys):
+        assert main(["check", str(SRC)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_violating_fixture_exits_one(self, capsys):
+        assert main(["check", str(FIXTURES / "conc001")]) == 1
+        out = capsys.readouterr().out
+        assert "CONC001" in out
+        assert "state.py:27:" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["check", "does/not/exist.py"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unparseable_file_exits_two(self, capsys):
+        assert main(["check", str(FIXTURES / "broken")]) == 2
+        assert "LINT000" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["check", "--rules", "NOPE001", str(SRC)]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_rules_filter_restricts_to_named_rules(self, capsys):
+        # the conc002 fixture is clean under every rule but CONC002
+        # (CONC001's meta-check would fire on its undeclared locks)
+        assert main(
+            ["check", "--rules", "FLOW001", str(FIXTURES / "conc002")]
+        ) == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("CONC001", "CONC002", "FLOW001", "FLOW002", "HOT001"):
+            assert rule_id in out
+
+    def test_json_format(self, capsys):
+        assert main(
+            ["check", "--format", "json", str(FIXTURES / "flow002")]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"FLOW002": 1}
+        assert payload["findings"][0]["line"] == 30
+
+
+class TestSarif:
+    def test_cli_emits_valid_sarif(self, capsys):
+        assert main(
+            ["check", "--format", "sarif", str(FIXTURES / "hot001")]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-check"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {"CONC001", "FLOW002", "HOT001", "DISC001", "LINT000"} <= rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "HOT001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] == 11
+        assert location["artifactLocation"]["uri"].endswith("core/disc.py")
+
+    def test_render_sarif_clean_run(self):
+        payload = json.loads(render_sarif([], 5, tool_name="repro-check"))
+        assert payload["runs"][0]["results"] == []
+        assert payload["runs"][0]["properties"]["filesChecked"] == 5

@@ -18,6 +18,7 @@ from repro.analysis import (
     lint_paths,
     lint_source,
     render_json,
+    render_sarif,
     render_text,
     rule_catalog,
 )
@@ -234,6 +235,23 @@ class TestReporters:
         assert first["rule_id"] == "DISC002"
         assert first["line"] == 9
 
+    def test_sarif_shape(self):
+        found = self._findings()
+        payload = json.loads(render_sarif(found, files_checked=1))
+        assert payload["version"] == "2.1.0"
+        assert "sarif-2.1.0" in payload["$schema"]
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rules = {rule["id"]: rule for rule in run["tool"]["driver"]["rules"]}
+        assert "DISC002" in rules and "LINT000" in rules
+        assert rules["DISC002"]["shortDescription"]["text"]
+        result = run["results"][0]
+        assert result["ruleId"] == "DISC002"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 9
+        assert region["startColumn"] >= 1
+
 
 class TestCli:
     def test_lint_src_exits_zero(self, capsys):
@@ -273,3 +291,18 @@ class TestCli:
     def test_missing_path_is_usage_error(self, capsys):
         assert main(["lint", "does/not/exist.py"]) == 2
         assert "no such file" in capsys.readouterr().err
+
+    def test_unparseable_file_exits_two(self, capsys):
+        broken = REPO_ROOT / "tests" / "fixtures" / "check" / "broken"
+        assert main(["lint", str(broken)]) == 2
+        assert "LINT000" in capsys.readouterr().out
+
+    def test_unknown_rule_id_exits_two(self, capsys):
+        assert main(["lint", "--rules", "NOPE001", str(SRC)]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_sarif_format(self, capsys):
+        path = FIXTURES / "core" / "bad_sort.py"
+        assert main(["lint", "--format", "sarif", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"][0]["ruleId"] == "DISC002"

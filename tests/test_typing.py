@@ -1,11 +1,11 @@
 """The strict-typing gate (mypy + zero type-ignores in swept core files).
 
-The comparator files the whole DISC strategy sorts by must carry no
-``type: ignore`` escape hatches (they now share the ``Comparable``
-protocol), and — when mypy is available — must pass ``mypy --strict``
-as configured in pyproject.toml.  The mypy run is skipped, not failed,
-in environments without mypy; CI installs it via the ``typecheck``
-extra.
+The swept files — the comparator core, the whole service layer and the
+fault-injection module — must carry no ``type: ignore`` escape hatches,
+and — when mypy is available — must pass ``mypy --strict`` as
+configured in pyproject.toml.  The mypy run is skipped, not failed, in
+environments without mypy; CI installs it via the ``typecheck`` extra
+(pinned so the gate does not drift with mypy releases).
 """
 
 from __future__ import annotations
@@ -26,6 +26,16 @@ STRICT_FILES = (
     "src/repro/core/keytable.py",
     "src/repro/core/sequence.py",
     "src/repro/core/comparable.py",
+    "src/repro/faults.py",
+    "src/repro/service/__init__.py",
+    "src/repro/service/cache.py",
+    "src/repro/service/errors.py",
+    "src/repro/service/http.py",
+    "src/repro/service/journal.py",
+    "src/repro/service/registry.py",
+    "src/repro/service/scheduler.py",
+    "src/repro/service/service.py",
+    "src/repro/service/supervise.py",
 )
 
 
