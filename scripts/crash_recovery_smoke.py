@@ -10,7 +10,11 @@ real process death:
    journal (no drain, no atexit — the hard crash),
 4. restart the server over the same journal,
 5. assert the interrupted job is resumed under its original id and its
-   final pattern set is byte-identical to an uninterrupted run.
+   final pattern set is byte-identical to an uninterrupted run,
+6. assert the submitted ``traceparent`` trace id survived the crash —
+   on the job payload, in every journal record of the job, and in the
+   structured event log — and that journal-replay health shows up on
+   ``/metrics``.
 
 Exits non-zero (with the server log) on any deviation.  Pure stdlib.
 """
@@ -30,19 +34,36 @@ import urllib.request
 MIN_SUPPORT = 5
 PORT = int(os.environ.get("SMOKE_PORT", "8931"))
 
+#: the W3C traceparent example ids — any fixed valid pair works
+TRACE_ID = "4bf92f3577b34da6a3ce929d0e0e4736"
+TRACEPARENT = f"00-{TRACE_ID}-00f067aa0ba902b7-01"
 
-def request(path: str, payload: dict | None = None) -> dict:
+
+def request(path: str, payload: dict | None = None,
+            headers: dict | None = None) -> dict:
     data = json.dumps(payload).encode("utf-8") if payload is not None else None
-    with urllib.request.urlopen(
-        f"http://127.0.0.1:{PORT}{path}", data=data, timeout=10
-    ) as response:
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{PORT}{path}", data=data,
+        headers=headers or {},
+    )
+    with urllib.request.urlopen(req, timeout=10) as response:
         return json.loads(response.read())
 
 
-def start_server(db_path: str, journal_path: str) -> subprocess.Popen:
+def request_text(path: str, headers: dict | None = None) -> str:
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{PORT}{path}", headers=headers or {}
+    )
+    with urllib.request.urlopen(req, timeout=10) as response:
+        return response.read().decode("utf-8")
+
+
+def start_server(db_path: str, journal_path: str,
+                 events_path: str) -> subprocess.Popen:
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve", db_path,
-         "--port", str(PORT), "--workers", "1", "--journal", journal_path],
+         "--port", str(PORT), "--workers", "1", "--journal", journal_path,
+         "--events", events_path],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
     )
     for _ in range(150):
@@ -74,10 +95,27 @@ def journal_has_checkpoint(journal_path: str) -> bool:
     return False
 
 
+def decoded_lines(path: str) -> list[dict]:
+    if not os.path.exists(path):
+        return []
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue  # torn final line mid-crash is expected
+    return records
+
+
 def main() -> int:
     workdir = tempfile.mkdtemp(prefix="crash-smoke-")
     db_path = os.path.join(workdir, "demo.spmf")
     journal_path = os.path.join(workdir, "jobs.jsonl")
+    events_path = os.path.join(workdir, "events.jsonl")
 
     subprocess.run(
         [sys.executable, "-m", "repro.cli", "generate",
@@ -100,11 +138,19 @@ def main() -> int:
         }
     print(f"reference run: {len(reference)} patterns")
 
-    server = start_server(db_path, journal_path)
-    job_id = request(
-        "/mine", {"database": "demo", "min_support": MIN_SUPPORT}
-    )["job_id"]
-    print(f"submitted {job_id}")
+    server = start_server(db_path, journal_path, events_path)
+    submitted = request(
+        "/mine", {"database": "demo", "min_support": MIN_SUPPORT},
+        headers={"traceparent": TRACEPARENT},
+    )
+    job_id = submitted["job_id"]
+    if submitted.get("trace_id") != TRACE_ID:
+        server.kill()
+        sys.exit(
+            f"submit response trace_id {submitted.get('trace_id')!r} "
+            f"!= sent {TRACE_ID!r}"
+        )
+    print(f"submitted {job_id} under trace {TRACE_ID}")
 
     deadline = time.time() + 60
     while time.time() < deadline:
@@ -119,7 +165,7 @@ def main() -> int:
     server.wait()
     print("SIGKILLed the server after the first journaled checkpoint")
 
-    server = start_server(db_path, journal_path)
+    server = start_server(db_path, journal_path, events_path)
     try:
         deadline = time.time() + 240
         while time.time() < deadline:
@@ -157,6 +203,57 @@ def main() -> int:
             f"recovered job {job_id}: done, complete, "
             f"{len(recovered)} patterns == uninterrupted run"
         )
+
+        # --- trace propagation: one id across crash and recovery ---
+        if doc.get("trace_id") != TRACE_ID:
+            sys.exit(
+                f"recovered job trace_id {doc.get('trace_id')!r} "
+                f"!= submitted {TRACE_ID!r}"
+            )
+        if "queue_wait_seconds" not in doc or "run_seconds" not in doc:
+            sys.exit("job payload lost queue_wait_seconds/run_seconds")
+        job_records = [
+            record for record in decoded_lines(journal_path)
+            if record.get("job") == job_id or record.get("job_id") == job_id
+        ]
+        bad = [
+            record for record in job_records
+            if record.get("trace_id") not in (TRACE_ID, None)
+        ]
+        if bad or not any(
+            record.get("trace_id") == TRACE_ID for record in job_records
+        ):
+            sys.exit(f"journal records lost the trace id: {job_records}")
+
+        from repro.obs.events import validate_event
+
+        events = decoded_lines(events_path)
+        invalid = [
+            (record, problems)
+            for record in events
+            if (problems := validate_event(record))
+        ]
+        if invalid:
+            sys.exit(f"invalid event records: {invalid[:3]}")
+        names = [
+            record["event"] for record in events
+            if record.get("trace_id") == TRACE_ID
+        ]
+        for wanted in ("job.accepted", "job.checkpoint", "job.recovered",
+                       "job.finished"):
+            if wanted not in names:
+                sys.exit(f"event {wanted!r} missing for trace {TRACE_ID}: {names}")
+        print(f"event log replays the lifecycle: {len(events)} records")
+
+        # --- journal replay health is visible on /metrics ---
+        metrics = request("/metrics")["metrics"]
+        resumed = metrics.get("service.journal_resumed", {}).get("value")
+        if resumed != 1:
+            sys.exit(f"service.journal_resumed is {resumed!r}, wanted 1")
+        prometheus = request_text("/metrics?format=prometheus")
+        if "service_journal_resumed 1" not in prometheus:
+            sys.exit("prometheus rendering lost service_journal_resumed")
+        print("journal health on /metrics: service.journal_resumed == 1")
     finally:
         server.send_signal(signal.SIGTERM)
         try:

@@ -1,0 +1,116 @@
+"""Profiling hooks: cProfile around an observed mining run.
+
+``repro profile`` answers "where does the time go?" with two correlated
+views of one run: the :mod:`repro.obs` phase attribution (mine /
+algorithm / partition / discover_k / post_filter spans) and a cProfile
+hotspot table (per-function tottime/cumtime).  Phases tell you *which
+stage* regressed; hotspots tell you *which function* inside it.
+
+The profiler wraps only the :func:`repro.mining.api.mine` call — dataset
+loading and report rendering stay outside the measurement, so the
+numbers match what ``repro bench`` times.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Any
+
+from repro.db.database import SequenceDatabase
+from repro.mining.api import mine
+
+PROFILE_FORMAT = "repro.profile"
+PROFILE_VERSION = 1
+DEFAULT_TOP = 15
+
+
+def profile_mine(
+    db: SequenceDatabase,
+    min_support: float | int,
+    algorithm: str = "disc-all",
+    top: int = DEFAULT_TOP,
+    **options: Any,
+):
+    """Run one observed, profiled mining run; return a profile document.
+
+    The document carries the run identity (algorithm, delta, patterns,
+    elapsed), the per-phase seconds from the run's own span tree, and
+    the top-*top* functions by ``tottime``.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = mine(db, min_support, algorithm=algorithm, observe=True, **options)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    hotspots = _hotspots(stats, top)
+    phases = {}
+    if result.report is not None:
+        phases = {
+            phase: round(seconds, 6)
+            for phase, seconds in result.report.phase_totals().items()
+        }
+    return {
+        "format": PROFILE_FORMAT,
+        "version": PROFILE_VERSION,
+        "algorithm": algorithm,
+        "minsup": min_support,
+        "delta": result.delta,
+        "database_size": result.database_size,
+        "patterns": len(result.patterns),
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+        "phase_seconds": phases,
+        "hotspots": hotspots,
+    }
+
+
+def _hotspots(stats: pstats.Stats, top: int):
+    """The *top* profiled functions by total (self) time."""
+    rows = []
+    # stats.stats maps (file, line, func) -> (cc, ncalls, tottime, cumtime, callers)
+    entries = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda item: item[1][2],
+        reverse=True,
+    )
+    for (filename, line, func), (_cc, ncalls, tottime, cumtime, _callers) in entries:
+        if len(rows) >= max(top, 0):
+            break
+        rows.append({
+            "function": func,
+            "file": filename,
+            "line": line,
+            "calls": ncalls,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        })
+    return rows
+
+
+def render_profile(document) -> str:
+    """Human-readable phase table + hotspot table for one document."""
+    lines = [
+        f"profile: {document.get('algorithm')} "
+        f"minsup={document.get('minsup')} delta={document.get('delta')} "
+        f"patterns={document.get('patterns')} "
+        f"elapsed={document.get('elapsed_seconds'):.3f}s",
+        "",
+        "phase seconds:",
+    ]
+    phases = document.get("phase_seconds") or {}
+    width = max((len(name) for name in phases), default=5)
+    for name, seconds in phases.items():
+        lines.append(f"  {name:<{width}}  {seconds:>9.4f}s")
+    lines.append("")
+    lines.append(
+        f"{'tottime':>9}  {'cumtime':>9}  {'calls':>9}  function"
+    )
+    for row in document.get("hotspots", ()):
+        location = f"{row.get('file')}:{row.get('line')}"
+        lines.append(
+            f"{row.get('tottime'):>9.4f}  {row.get('cumtime'):>9.4f}  "
+            f"{row.get('calls'):>9}  {row.get('function')}  ({location})"
+        )
+    return "\n".join(lines)

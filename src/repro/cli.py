@@ -96,8 +96,21 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         min_support = int(args.min_support)
     else:
         min_support = args.min_support
-    observe = bool(args.trace or args.metrics_json)
-    result = mine(db, min_support, algorithm=args.algorithm, observe=observe)
+    observe = bool(args.trace or args.metrics_json or args.events)
+    if args.events:
+        from repro.obs.events import EventLog, event_log
+
+        sink = EventLog(args.events)
+        try:
+            with event_log(sink):
+                result = mine(
+                    db, min_support, algorithm=args.algorithm, observe=observe
+                )
+        finally:
+            sink.close()
+        print(f"wrote event log to {args.events}")
+    else:
+        result = mine(db, min_support, algorithm=args.algorithm, observe=observe)
     print(result.summary())
     if result.report is not None:
         if args.trace:
@@ -149,6 +162,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.bench.baseline import collect_baseline
 
+    if args.compare:
+        from repro.bench.compare import (
+            compare_against,
+            load_baseline,
+            render_verdict,
+        )
+
+        candidate = load_baseline(args.candidate) if args.candidate else None
+        verdict = compare_against(
+            args.compare,
+            candidate=candidate,
+            tolerance=args.tolerance,
+            calibrate=args.calibrate,
+        )
+        print(render_verdict(verdict))
+        if args.compare_json:
+            Path(args.compare_json).write_text(
+                json.dumps(verdict, indent=1) + "\n", encoding="utf-8"
+            )
+            print(f"wrote compare verdict to {args.compare_json}")
+        return 0 if verdict["verdict"] == "pass" else 1
+
     document = collect_baseline(scale=args.scale)
     text = json.dumps(document, indent=1)
     if args.output:
@@ -158,6 +193,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"wrote {len(runs)} baseline runs to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.profiling import profile_mine, render_profile
+
+    db = _read_db(args.database, args.format)
+    min_support: float | int = (
+        int(args.min_support) if args.min_support >= 1 else args.min_support
+    )
+    document = profile_mine(
+        db, min_support, algorithm=args.algorithm, top=args.top
+    )
+    print(render_profile(document))
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(document, indent=1) + "\n", encoding="utf-8"
+        )
+        print(f"wrote profile to {args.output}")
     return 0
 
 
@@ -255,6 +311,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             faults.arm(plan)
             print(f"fault injection armed from {faults.ENV_SPEC}")
 
+    event_sink = None
+    if args.events:
+        # installed before the service exists so recovery and the very
+        # first accepted job are narrated too
+        from repro.obs import events as obs_events
+        from repro.obs.events import EventLog
+
+        event_sink = EventLog(args.events)
+        obs_events.install(event_sink)
+        print(f"event log: {args.events}")
+
     journal = None
     if args.journal:
         journal_path = Path(args.journal)
@@ -309,6 +376,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.server_close()
         service.close(drain=True)
+        if event_sink is not None:
+            from repro.obs import events as obs_events
+
+            obs_events.install(None)
+            event_sink.close()
     return 0
 
 
@@ -371,6 +443,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run instrumented and print the span/metric report")
     mine_cmd.add_argument("--metrics-json", default="",
                           help="run instrumented and write the run report as JSON")
+    mine_cmd.add_argument("--events", default="", metavar="PATH",
+                          help="run instrumented and append structured JSONL "
+                               "events (mine.phase, ...) to PATH")
     mine_cmd.set_defaults(func=_cmd_mine)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -388,7 +463,37 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--scale", default="repro", choices=sorted(SCALES))
     bench.add_argument("-o", "--output", default="",
                        help="write the baseline document here (default: stdout)")
+    bench.add_argument("--compare", default="", metavar="BASELINE",
+                       help="perf-regression gate: compare a fresh run (or "
+                            "--candidate) against this baseline document; "
+                            "exits 1 on regression")
+    bench.add_argument("--candidate", default="", metavar="PATH",
+                       help="with --compare: use this pre-collected baseline "
+                            "document instead of running the benchmark")
+    bench.add_argument("--tolerance", type=float, default=0.5,
+                       help="relative timing tolerance for --compare "
+                            "(0.5 = fail beyond 1.5x baseline)")
+    bench.add_argument("--calibrate", action="store_true",
+                       help="with --compare: normalise timings by the median "
+                            "elapsed ratio (absorbs machine speed differences)")
+    bench.add_argument("--compare-json", default="", metavar="PATH",
+                       help="with --compare: also write the verdict document "
+                            "as JSON")
     bench.set_defaults(func=_cmd_bench)
+
+    profile = sub.add_parser(
+        "profile", help="profile one mining run (phase table + cProfile hotspots)"
+    )
+    _add_database_arg(profile)
+    profile.add_argument("--min-support", type=float, required=True,
+                         help="fraction (<1) of sequences or absolute count (>=1)")
+    profile.add_argument("--algorithm", default="disc-all",
+                         choices=available_algorithms())
+    profile.add_argument("--top", type=int, default=15,
+                         help="hotspot rows to keep (by tottime)")
+    profile.add_argument("-o", "--output", default="",
+                         help="write the profile document as JSON")
+    profile.set_defaults(func=_cmd_profile)
 
     topk = sub.add_parser("topk", help="the k most frequent sequences")
     _add_database_arg(topk)
@@ -485,6 +590,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: read REPRO_FAULTS)")
     serve.add_argument("--faults-seed", type=int, default=0,
                        help="seed for probabilistic fault rules")
+    serve.add_argument("--events", default=None, metavar="PATH",
+                       help="append structured lifecycle events (JSONL) here; "
+                            "covers recovery and every job")
     serve.set_defaults(func=_cmd_serve)
 
     return parser

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
 from repro.exceptions import InjectedFaultError, InvalidParameterError
+from repro.obs import events as obs_events
 
 #: Environment variables consulted by :func:`plan_from_env`.
 ENV_SPEC = "REPRO_FAULTS"
@@ -178,6 +179,10 @@ class FaultPlan:
             if fire:
                 self._fired[site] = self._fired.get(site, 0) + 1
         if fire:
+            # narrated before the raise so the event log shows the fault
+            # in sequence with the retry/finished records it caused;
+            # carries the ambient trace id of the attempt it interrupted
+            obs_events.emit("fault.injected", level="warn", site=site, hit=count)
             raise InjectedFaultError(
                 f"injected fault at {site!r} (hit {count})"
             )

@@ -32,6 +32,8 @@ from repro.exceptions import InvalidParameterError, OperationCancelledError
 from repro.mining.registry import get_algorithm, supports_resume
 from repro.mining.result import MiningResult
 from repro.obs import NOOP_OBSERVATION, RunReport, activated, observation
+from repro.obs import events as obs_events
+from repro.obs.trace_context import current_trace
 
 
 def run_identity(
@@ -132,7 +134,15 @@ def mine(
     obs = observation() if observe else NOOP_OBSERVATION
     started = time.perf_counter()
     checkpoint: MiningCheckpoint | None = None
-    with activated(obs), obs.tracer.span("mine", algorithm=algorithm, delta=delta):
+    # A run under an ambient trace (a service job, a traced CLI run)
+    # stamps the trace id on its root span, so the RunReport — and any
+    # cache entry built from it — stays joinable with journal records
+    # and event-log lines long after the job object is gone.
+    span_attrs: dict[str, Any] = {"algorithm": algorithm, "delta": delta}
+    trace = current_trace()
+    if trace is not None:
+        span_attrs["trace_id"] = trace.trace_id
+    with activated(obs), obs.tracer.span("mine", **span_attrs):
         with obs.tracer.span("algorithm"):
             if recorder is None:
                 patterns = miner(db.members(), delta, **options)
@@ -175,11 +185,22 @@ def mine(
                         },
                     )
     elapsed = time.perf_counter() - started
+    report = obs.report() if observe else None
+    if report is not None and obs_events.enabled():
+        # narrate per-phase attribution into the event log — outside the
+        # mining loop, once per run, only when both sides are enabled
+        for phase, seconds in report.phase_totals().items():
+            obs_events.emit(
+                "mine.phase",
+                phase=phase,
+                seconds=round(seconds, 6),
+                algorithm=algorithm,
+            )
     return _replace_patterns(
         result,
         result.patterns,
         elapsed_seconds=elapsed,
-        report=obs.report() if observe else None,
+        report=report,
     )
 
 

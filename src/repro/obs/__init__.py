@@ -27,6 +27,18 @@ from repro.obs.context import (
     observation,
     stats_observation,
 )
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EVENT_VERSION,
+    EVENT_VOCABULARY,
+    LEVELS,
+    NOOP_EVENT_LOG,
+    EventLog,
+    NoopEventLog,
+    event_log,
+    read_events,
+    validate_event,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -37,7 +49,9 @@ from repro.obs.metrics import (
     NoopMetricsRegistry,
     render_name,
 )
+from repro.obs.prometheus import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.obs.report import REPORT_FORMAT, REPORT_VERSION, RunReport
+from repro.obs.trace_context import TraceContext, current_trace, trace_scope
 from repro.obs.tracing import NoopTracer, SpanRecord, Tracer
 
 __all__ = [
@@ -47,6 +61,21 @@ __all__ = [
     "active",
     "observation",
     "stats_observation",
+    "EVENT_SCHEMA",
+    "EVENT_VERSION",
+    "EVENT_VOCABULARY",
+    "LEVELS",
+    "NOOP_EVENT_LOG",
+    "EventLog",
+    "NoopEventLog",
+    "event_log",
+    "read_events",
+    "validate_event",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "TraceContext",
+    "current_trace",
+    "trace_scope",
     "DEFAULT_BUCKETS",
     "Counter",
     "FilteredMetricsRegistry",

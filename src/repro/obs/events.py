@@ -1,0 +1,252 @@
+"""Structured, schema-versioned event log (system S25).
+
+Where :class:`~repro.obs.report.RunReport` freezes one run's evidence
+after the fact, the event log narrates the *lifecycle* as it happens:
+leveled JSONL records (``job.accepted``, ``job.checkpoint``,
+``fault.injected``, ...) correlated by trace id and job id, so a job's
+story can be replayed in order across queueing, retries, a crash and
+the recovered resume.
+
+Discipline (same as the metrics layer): the default sink is a shared
+no-op singleton and the module-level :func:`emit` returns immediately
+when nothing is installed, so the uninstrumented path stays free — no
+formatting, no I/O, no record dict escapes.  The active log is a
+process-wide module global (like :mod:`repro.faults`): scheduler worker
+threads are started before any request arrives, so a context-variable
+would not propagate into them.  Install with ``repro serve --events`` /
+``repro mine --events`` or :func:`install`; tests scope installation
+with the :func:`event_log` context manager.
+
+Record shape (schema ``repro.event`` version 1)::
+
+    {"schema": "repro.event", "version": 1, "ts": 1700000000.123,
+     "level": "info", "event": "job.started",
+     "trace_id": "4bf9...", "job_id": "a1b2...", "attempt": 1}
+
+``trace_id`` is auto-filled from the ambient
+:func:`~repro.obs.trace_context.current_trace` when not passed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Any, Iterator, Mapping
+
+from repro.exceptions import DataFormatError, InvalidParameterError
+from repro.obs.trace_context import current_trace
+
+#: schema identifier stamped on every event record
+EVENT_SCHEMA = "repro.event"
+#: bump when the record shape changes incompatibly
+EVENT_VERSION = 1
+
+#: severity levels, least to most severe
+LEVELS = ("debug", "info", "warn", "error")
+_LEVEL_ORDER = {name: index for index, name in enumerate(LEVELS)}
+
+#: event vocabulary: event name -> fields required beyond the envelope
+EVENT_VOCABULARY: Mapping[str, tuple[str, ...]] = {
+    "job.accepted": ("job_id", "trace_id"),
+    "job.cache_hit": ("job_id", "trace_id"),
+    "job.started": ("job_id", "attempt"),
+    "job.checkpoint": ("job_id", "partitions"),
+    "job.retry": ("job_id", "attempt"),
+    "job.recovered": ("job_id", "resumed"),
+    "job.cancelled": ("job_id",),
+    "job.finished": ("job_id", "state"),
+    "journal.replayed": ("total_lines", "corrupt_lines"),
+    "mine.phase": ("phase", "seconds"),
+    "fault.injected": ("site", "hit"),
+}
+
+
+class EventLog:
+    """A leveled JSONL event sink, safe to share across threads."""
+
+    def __init__(self, target: str | Path | IO[str], min_level: str = "debug") -> None:
+        if min_level not in _LEVEL_ORDER:
+            raise InvalidParameterError(
+                f"min_level must be one of {LEVELS}, got {min_level!r}"
+            )
+        self._min_level = _LEVEL_ORDER[min_level]
+        self._lock = threading.Lock()
+        if isinstance(target, (str, Path)):
+            handle: IO[str] | None = Path(target).open("a", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            handle = target
+            self._owns_handle = False
+        self._handle = handle  # guarded-by: _lock
+
+    def emit(
+        self,
+        event: str,
+        *,
+        level: str = "info",
+        trace_id: str | None = None,
+        job_id: str | None = None,
+        **fields: object,
+    ) -> None:
+        """Append one event record (a no-op below ``min_level``)."""
+        rank = _LEVEL_ORDER.get(level)
+        if rank is None:
+            raise InvalidParameterError(
+                f"level must be one of {LEVELS}, got {level!r}"
+            )
+        if rank < self._min_level:
+            return
+        if trace_id is None:
+            ambient = current_trace()
+            if ambient is not None:
+                trace_id = ambient.trace_id
+        record: dict[str, object] = {
+            "schema": EVENT_SCHEMA,
+            "version": EVENT_VERSION,
+            "ts": time.time(),
+            "level": level,
+            "event": event,
+        }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        if job_id is not None:
+            record["job_id"] = job_id
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            if self._handle is not None:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and release the sink; later emits are dropped."""
+        with self._lock:
+            handle = self._handle
+            self._handle = None
+        if handle is not None and self._owns_handle:
+            handle.close()
+
+
+class NoopEventLog(EventLog):
+    """Shared disabled sink: every emit returns immediately."""
+
+    def __init__(self) -> None:
+        # deliberately skip EventLog.__init__: no handle, no lock traffic
+        pass
+
+    def emit(
+        self,
+        event: str,
+        *,
+        level: str = "info",
+        trace_id: str | None = None,
+        job_id: str | None = None,
+        **fields: object,
+    ) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+#: the shared disabled sink — identity-compared by the fast path
+NOOP_EVENT_LOG = NoopEventLog()
+
+_ACTIVE: EventLog = NOOP_EVENT_LOG
+
+
+def install(log: EventLog | None) -> None:
+    """Install *log* as the process-wide sink (``None`` restores no-op)."""
+    global _ACTIVE
+    _ACTIVE = log if log is not None else NOOP_EVENT_LOG
+
+
+def installed() -> EventLog:
+    """The currently installed sink (the no-op singleton by default)."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """True when a real sink is installed."""
+    return _ACTIVE is not NOOP_EVENT_LOG
+
+
+def emit(
+    event: str,
+    *,
+    level: str = "info",
+    trace_id: str | None = None,
+    job_id: str | None = None,
+    **fields: object,
+) -> None:
+    """Emit through the installed sink; free when nothing is installed."""
+    log = _ACTIVE
+    if log is NOOP_EVENT_LOG:
+        return
+    log.emit(event, level=level, trace_id=trace_id, job_id=job_id, **fields)
+
+
+@contextmanager
+def event_log(log: EventLog | None) -> Iterator[EventLog | None]:
+    """Scope installation of *log* to a block (tests, CLI runs)."""
+    previous = _ACTIVE
+    install(log)
+    try:
+        yield log
+    finally:
+        install(previous if previous is not NOOP_EVENT_LOG else None)
+
+
+def validate_event(record: object) -> list[str]:
+    """Problems with one decoded event record (empty list when valid)."""
+    if not isinstance(record, dict):
+        return ["record is not a JSON object"]
+    problems: list[str] = []
+    if record.get("schema") != EVENT_SCHEMA:
+        problems.append(f"schema is {record.get('schema')!r}, not {EVENT_SCHEMA!r}")
+    if record.get("version") != EVENT_VERSION:
+        problems.append(f"version is {record.get('version')!r}, not {EVENT_VERSION}")
+    ts = record.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        problems.append(f"ts is not a number: {ts!r}")
+    level = record.get("level")
+    if level not in _LEVEL_ORDER:
+        problems.append(f"level {level!r} not in {LEVELS}")
+    name = record.get("event")
+    if not isinstance(name, str):
+        problems.append(f"event name is not a string: {name!r}")
+    elif name not in EVENT_VOCABULARY:
+        problems.append(f"unknown event {name!r}")
+    else:
+        missing = [field for field in EVENT_VOCABULARY[name] if field not in record]
+        if missing:
+            problems.append(f"{name} record missing fields: {missing}")
+    return problems
+
+
+def read_events(path: str | Path) -> list[dict[str, Any]]:
+    """Decode an event-log JSONL file, skipping torn/blank lines.
+
+    Raises :class:`DataFormatError` only when the file contains no valid
+    records at all but is non-empty — a sign it is not an event log.
+    """
+    records: list[dict[str, Any]] = []
+    seen_content = False
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            seen_content = True
+            try:
+                decoded = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a crash — forgiven, like the journal
+            if isinstance(decoded, dict):
+                records.append(decoded)
+    if seen_content and not records:
+        raise DataFormatError(f"{path} contains no decodable event records")
+    return records

@@ -1,0 +1,106 @@
+"""Prometheus text exposition of a metrics snapshot (system S25).
+
+Renders the registry's :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+into the text format (version 0.0.4) scrapers understand, without taking
+a client dependency: dotted names become underscore names
+(``service.queue_depth`` -> ``service_queue_depth``), the internal
+``name{k=4}`` label syntax maps onto Prometheus labels (``{k="4"}``),
+and histograms — bucketed per-interval internally — are re-rendered as
+the cumulative ``_bucket{le="..."}`` series plus ``_sum``/``_count``
+the format requires.  Gauges additionally expose their tracked maximum
+as ``<name>_max``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: the Content-Type Prometheus scrapers negotiate for
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _sanitize_name(name: str) -> str:
+    cleaned = "".join(ch if ch in _NAME_OK else "_" for ch in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label_value(value: object) -> str:
+    text = str(value)
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Mapping[str, object], extra: str = "") -> str:
+    parts = [
+        f'{_sanitize_name(key)}="{_escape_label_value(labels[key])}"'
+        for key in sorted(labels)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _bucket_bound(key: str) -> str:
+    """The ``le`` value for one internal bucket key (``<=5`` or ``+Inf``)."""
+    return key[2:] if key.startswith("<=") else key
+
+
+def render_prometheus(snapshot: Mapping[str, Mapping[str, object]]) -> str:
+    """The snapshot in Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.values():
+        kind = entry.get("type")
+        name = _sanitize_name(str(entry.get("name", "")))
+        labels = entry.get("labels")
+        label_map: Mapping[str, object] = labels if isinstance(labels, dict) else {}
+        rendered = _render_labels(label_map)
+        if kind == "counter":
+            type_line(name, "counter")
+            lines.append(f"{name}{rendered} {_format_value(entry.get('value', 0))}")
+        elif kind == "gauge":
+            type_line(name, "gauge")
+            lines.append(f"{name}{rendered} {_format_value(entry.get('value', 0))}")
+            type_line(f"{name}_max", "gauge")
+            lines.append(
+                f"{name}_max{rendered} {_format_value(entry.get('max', 0))}"
+            )
+        elif kind == "histogram":
+            type_line(name, "histogram")
+            buckets = entry.get("buckets")
+            bucket_map: Mapping[str, object] = (
+                buckets if isinstance(buckets, dict) else {}
+            )
+            cumulative = 0
+            for key, count in bucket_map.items():
+                if isinstance(count, int):
+                    cumulative += count
+                bound = _escape_label_value(_bucket_bound(str(key)))
+                le = _render_labels(label_map, extra=f'le="{bound}"')
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            lines.append(f"{name}_sum{rendered} {_format_value(entry.get('sum', 0))}")
+            lines.append(
+                f"{name}_count{rendered} {_format_value(entry.get('count', 0))}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,147 @@
+"""End-to-end trace identity for mining jobs (system S25).
+
+A :class:`TraceContext` names one logical unit of work — a mining job —
+with a 128-bit trace id and a 64-bit span id, in the W3C ``traceparent``
+wire format (``00-<trace>-<span>-01``).  The trace id is minted once at
+the edge (HTTP handler or service submit) and follows the job through
+queueing, worker attempts, ``mine()`` spans, journal records, a crash
+and the recovered re-run, so every artifact of the job's life can be
+joined on a single id.
+
+The ambient context is a :class:`~contextvars.ContextVar`: the scheduler
+worker enters :func:`trace_scope` around each attempt, and anything that
+runs inside — ``mine()``, checkpoint sinks, fault injection — reads
+:func:`current_trace` without threading a parameter through every layer.
+The default is ``None``; un-traced callers pay one context-variable read.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import InvalidParameterError
+
+#: version prefix of the ``traceparent`` headers this module emits
+TRACEPARENT_VERSION = "00"
+
+_TRACE_ID_HEX = 32
+_SPAN_ID_HEX = 16
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def _is_hex_id(value: str, width: int) -> bool:
+    if len(value) != width or set(value) - _HEX_DIGITS:
+        return False
+    return set(value) != {"0"}
+
+
+def _random_hex(nbytes: int) -> str:
+    while True:
+        value = os.urandom(nbytes).hex()
+        if set(value) != {"0"}:
+            return value
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """One job's trace identity: trace id, current span id, parent span."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if not _is_hex_id(self.trace_id, _TRACE_ID_HEX):
+            raise InvalidParameterError(
+                f"trace_id must be {_TRACE_ID_HEX} lowercase hex digits and "
+                f"not all zero, got {self.trace_id!r}"
+            )
+        if not _is_hex_id(self.span_id, _SPAN_ID_HEX):
+            raise InvalidParameterError(
+                f"span_id must be {_SPAN_ID_HEX} lowercase hex digits and "
+                f"not all zero, got {self.span_id!r}"
+            )
+
+    @classmethod
+    def mint(cls) -> TraceContext:
+        """A fresh root context with random trace and span ids."""
+        return cls(
+            trace_id=_random_hex(_TRACE_ID_HEX // 2),
+            span_id=_random_hex(_SPAN_ID_HEX // 2),
+        )
+
+    @classmethod
+    def continue_trace(cls, trace_id: str) -> TraceContext:
+        """A new span continuing an existing trace id.
+
+        Used when a job's identity outlives a single process: resuming a
+        journaled job after a crash, or answering from cache with the
+        trace id of the run that actually mined the result.
+        """
+        return cls(trace_id=trace_id, span_id=_random_hex(_SPAN_ID_HEX // 2))
+
+    @classmethod
+    def from_traceparent(cls, header: str | None) -> TraceContext | None:
+        """Parse an incoming ``traceparent`` header, tolerantly.
+
+        Returns ``None`` on anything malformed (wrong field count, bad
+        hex, all-zero ids, the forbidden ``ff`` version) so callers can
+        fall back to :meth:`mint` instead of failing the request.  The
+        caller's span id becomes ``parent_id``; a new span id is minted
+        for our side of the trace.
+        """
+        if header is None:
+            return None
+        parts = header.strip().lower().split("-")
+        if len(parts) < 4:
+            return None
+        version, trace_id, parent_span = parts[0], parts[1], parts[2]
+        if len(version) != 2 or set(version) - _HEX_DIGITS or version == "ff":
+            return None
+        if version == TRACEPARENT_VERSION and len(parts) != 4:
+            return None
+        if not _is_hex_id(trace_id, _TRACE_ID_HEX):
+            return None
+        if not _is_hex_id(parent_span, _SPAN_ID_HEX):
+            return None
+        return cls(
+            trace_id=trace_id,
+            span_id=_random_hex(_SPAN_ID_HEX // 2),
+            parent_id=parent_span,
+        )
+
+    def child(self) -> TraceContext:
+        """A child span within the same trace."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_random_hex(_SPAN_ID_HEX // 2),
+            parent_id=self.span_id,
+        )
+
+    def to_traceparent(self) -> str:
+        """This context rendered as an outgoing ``traceparent`` header."""
+        return f"{TRACEPARENT_VERSION}-{self.trace_id}-{self.span_id}-01"
+
+
+_CURRENT: ContextVar[TraceContext | None] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_trace() -> TraceContext | None:
+    """The trace context the current work is running under, if any."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def trace_scope(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Make *ctx* the ambient trace for the block (``None`` clears it)."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)

@@ -9,12 +9,21 @@ Endpoints::
 
     GET  /                      endpoint index
     GET  /healthz               liveness + queue/cache summary
-    GET  /metrics               JSON render of the live metrics registry
+    GET  /metrics               metrics registry; JSON by default, the
+                                Prometheus text format via
+                                ``?format=prometheus`` or
+                                ``Accept: text/plain``
     POST /databases             register {name, format, content}
     DELETE /databases/<name>    evict a registered database
     POST /mine                  submit {database, min_support, ...} -> job id
     GET  /jobs                  job summaries
     GET  /jobs/<id>[?top=N]     job status; patterns once done
+
+``POST /mine`` participates in distributed tracing: an incoming
+``traceparent`` header (W3C format) is parsed and its trace id adopted
+for the job; the response echoes a ``traceparent`` for the job's trace
+and carries ``trace_id`` in the body.  Cache hits answer under the
+trace id of the run that originally mined the result.
 
 Error responses are ``{"error": {"code": ..., "message": ...}}`` with
 the HTTP status carrying the class: 429 ``overloaded`` (backpressure),
@@ -37,6 +46,8 @@ from repro.exceptions import (
     ReproError,
     UnknownAlgorithmError,
 )
+from repro.obs.prometheus import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.trace_context import TraceContext
 from repro.service.errors import (
     ServiceClosedError,
     ServiceOverloadedError,
@@ -75,8 +86,13 @@ def job_payload(job: Job, top: int | None = None) -> dict[str, object]:
         "status": job.state,
         "attempts": job.attempts,
         "queued_seconds": round(job.queued_seconds(), 6),
+        # same value under the documented name; ``queued_seconds`` stays
+        # for compatibility with existing clients
+        "queue_wait_seconds": round(job.queued_seconds(), 6),
         "run_seconds": round(job.run_seconds(), 6),
     }
+    if job.trace is not None:
+        payload["trace_id"] = job.trace.trace_id
     request = job.request
     if isinstance(request, MineRequest):
         payload["request"] = {
@@ -137,6 +153,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(
+        self, status: int, body: str, content_type: str = "text/plain"
+    ) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def _send_error(self, exc: ReproError) -> None:
         status, payload = _error_payload(exc)
         headers: dict[str, str] | None = None
@@ -176,11 +202,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             elif parts == ["healthz"]:
                 self._send_json(200, self.service.health())
             elif parts == ["metrics"]:
-                self._send_json(200, {
-                    "format": "repro.service-metrics",
-                    "version": 1,
-                    "metrics": self.service.metrics_snapshot(),
-                })
+                self._get_metrics(parse_qs(split.query))
             elif parts == ["jobs"]:
                 self._send_json(200, {
                     "jobs": [
@@ -191,7 +213,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             elif len(parts) == 2 and parts[0] == "jobs":
                 top = _query_int(parse_qs(split.query), "top")
                 job = self.service.job(parts[1])
-                self._send_json(200, job_payload(job, top=top))
+                headers = None
+                if job.trace is not None:
+                    headers = {"traceparent": job.trace.to_traceparent()}
+                self._send_json(200, job_payload(job, top=top), headers=headers)
             else:
                 self._send_json(404, _NOT_FOUND)
         except ReproError as exc:
@@ -227,6 +252,36 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # -- handlers ------------------------------------------------------------
 
+    def _get_metrics(self, query: dict[str, list[str]]) -> None:
+        """``GET /metrics`` with content negotiation.
+
+        JSON by default (the existing machine-readable document); the
+        Prometheus text exposition format when the client asks for it —
+        either explicitly (``?format=prometheus``) or via an ``Accept``
+        header preferring ``text/plain``.
+        """
+        values = query.get("format")
+        fmt = values[-1] if values else None
+        accept = self.headers.get("Accept") or ""
+        if fmt is None and "text/plain" in accept:
+            fmt = "prometheus"
+        if fmt == "prometheus":
+            self._send_text(
+                200,
+                render_prometheus(self.service.metrics_snapshot()),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+        elif fmt in (None, "json"):
+            self._send_json(200, {
+                "format": "repro.service-metrics",
+                "version": 1,
+                "metrics": self.service.metrics_snapshot(),
+            })
+        else:
+            raise InvalidParameterError(
+                f"unknown metrics format {fmt!r}; use 'json' or 'prometheus'"
+            )
+
     def _post_mine(self) -> None:
         payload = self._read_json()
         database = payload.get("database")
@@ -252,18 +307,31 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             or deadline <= 0
         ):
             raise InvalidParameterError("'deadline_seconds' must be > 0")
+        # adopt the caller's trace when a well-formed traceparent header
+        # arrives; malformed or absent headers mint a fresh trace —
+        # every job gets an identity either way
+        trace = TraceContext.from_traceparent(self.headers.get("traceparent"))
+        if trace is None:
+            trace = TraceContext.mint()
         job = self.service.submit_mine(
             database,
             min_support,
             algorithm=algorithm,
             options=options,
             deadline_seconds=float(deadline) if deadline is not None else None,
+            trace=trace,
         )
         status = 200 if job.state == DONE else 202
         body: dict[str, object] = {"job_id": job.id, "status": job.state}
         if job.state == DONE and isinstance(job.result, MineOutcome):
             body["cached"] = job.result.cached
-        self._send_json(status, body)
+        headers: dict[str, str] | None = None
+        if job.trace is not None:
+            # the job's trace, not the request's: a cache hit answers
+            # under the trace id of the run that mined the result
+            body["trace_id"] = job.trace.trace_id
+            headers = {"traceparent": job.trace.to_traceparent()}
+        self._send_json(status, body, headers=headers)
 
     def _post_database(self) -> None:
         payload = self._read_json()

@@ -15,7 +15,11 @@ and ``ts`` (wall-clock seconds) keys, plus event-specific fields::
 
     {"event": "accepted", "job": "j000001", "ts": ..., "database": ...,
      "digest": ..., "delta": 3, "algorithm": "disc-all", "options": {},
-     "deadline_seconds": null}
+     "deadline_seconds": null, "trace_id": "4bf9..."}
+
+Records written by a traced service additionally carry the job's
+``trace_id``, so journal lines join against the structured event log
+and the resumed run keeps the original trace identity across a crash.
     {"event": "started", "job": "j000001", "ts": ..., "attempt": 1}
     {"event": "checkpoint", "job": "j000001", "ts": ..., "completed_k": 0,
      "partitions": 4, "checkpoint": {...MiningCheckpoint.to_dict()...}}
@@ -106,7 +110,7 @@ class JournalEntry:
 
     __slots__ = (
         "job_id", "accepted", "last_event", "state", "attempts",
-        "checkpoint", "error", "code",
+        "checkpoint", "error", "code", "trace_id",
     )
 
     def __init__(self, job_id: str) -> None:
@@ -118,6 +122,7 @@ class JournalEntry:
         self.checkpoint: dict[str, Any] | None = None
         self.error: str | None = None
         self.code: str | None = None
+        self.trace_id: str | None = None
 
     @property
     def finished(self) -> bool:
@@ -128,6 +133,9 @@ class JournalEntry:
         """Fold one journal record into this entry (last state wins)."""
         event = str(record.get("event", ""))
         self.last_event = event
+        trace_id = record.get("trace_id")
+        if isinstance(trace_id, str) and trace_id:
+            self.trace_id = trace_id
         if event == "accepted":
             self.accepted = dict(record)
         elif event == "started":

@@ -39,6 +39,7 @@ from repro.exceptions import (
 )
 from repro.faults import fault_point
 from repro.obs.metrics import MetricsRegistry, NoopMetricsRegistry
+from repro.obs.trace_context import TraceContext, trace_scope
 from repro.service.errors import (
     ServiceClosedError,
     ServiceOverloadedError,
@@ -73,10 +74,16 @@ class Job:
     __slots__ = (
         "id", "request", "state", "result", "error", "error_code",
         "token", "submitted_at", "started_at", "finished_at", "done_event",
-        "attempts", "progress",
+        "attempts", "progress", "trace",
     )
 
-    def __init__(self, job_id: str, request: object, token: CancelToken) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        request: object,
+        token: CancelToken,
+        trace: TraceContext | None = None,
+    ) -> None:
         self.id = job_id
         self.request = request
         self.state = QUEUED
@@ -92,6 +99,8 @@ class Job:
         self.attempts = 0
         #: freshest mining checkpoint; retries resume from here
         self.progress: "MiningCheckpoint | None" = None
+        #: the trace identity this job runs (and journals, retries) under
+        self.trace = trace
 
     @property
     def finished(self) -> bool:
@@ -164,12 +173,14 @@ class JobScheduler:
         request: object,
         deadline_seconds: float | None = None,
         job_id: str | None = None,
+        trace: TraceContext | None = None,
     ) -> Job:
         """Queue *request*; reject immediately when the queue is full.
 
         *job_id* lets crash recovery re-enqueue a journaled job under
         its original id, so clients polling across a restart keep
-        working; omitted, a fresh id is generated.
+        working; omitted, a fresh id is generated.  *trace* is the trace
+        identity the job's attempts run under.
         """
         token = (
             CancelToken.with_timeout(deadline_seconds)
@@ -181,7 +192,9 @@ class JobScheduler:
                 raise ServiceClosedError("service is shutting down")
             if job_id is not None and job_id in self._jobs:
                 raise InvalidParameterError(f"job id {job_id!r} already exists")
-            job = Job(job_id or self._generate_id_locked(), request, token)
+            job = Job(
+                job_id or self._generate_id_locked(), request, token, trace=trace
+            )
             try:
                 self._queue.put_nowait(job)
             except queue.Full:
@@ -194,7 +207,12 @@ class JobScheduler:
         self._depth.set(self._queue.qsize())
         return job
 
-    def submit_finished(self, request: object, result: object) -> Job:
+    def submit_finished(
+        self,
+        request: object,
+        result: object,
+        trace: TraceContext | None = None,
+    ) -> Job:
         """A job born finished (e.g. a cache hit): no queue, no worker.
 
         The caller gets a normal job id and payload, but the submission
@@ -204,7 +222,7 @@ class JobScheduler:
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is shutting down")
-            job = Job(self._generate_id_locked(), request, CancelToken())
+            job = Job(self._generate_id_locked(), request, CancelToken(), trace=trace)
             self._jobs[job.id] = job
             job.result = result
             job.started_at = job.submitted_at
@@ -342,41 +360,49 @@ class JobScheduler:
             if changed:
                 self._notify(job, CANCELLED)
             return
-        while True:
-            job.attempts += 1
-            self._notify(job, "started")
-            try:
-                with cancel_scope(job.token):
-                    fault_point("worker.crash")
-                    result = self._runner(job)
-            except OperationCancelledError as exc:
-                code = "deadline" if "deadline" in job.token.reason else "cancelled"
-                self._finish(job, CANCELLED, str(exc), code)
-                return
-            except Exception as exc:  # keep the worker alive on runner bugs
-                policy = self._retry_policy
-                if policy is not None and self._retry_allowed(job, exc):
-                    self._retries.add(1)
-                    self._notify(job, "retry")
-                    if self._backoff_wait(job, backoff_delay(job.attempts, policy)):
-                        self._finish(
-                            job, CANCELLED,
-                            job.token.reason or "cancelled during retry backoff",
-                            "cancelled",
-                        )
-                        return
-                    continue
-                if isinstance(exc, ReproError):
-                    self._finish(job, FAILED, str(exc), "error")
-                else:
-                    self._finish(
-                        job, FAILED, f"{type(exc).__name__}: {exc}", "internal"
+        # every attempt (including fault injection and retries) runs under
+        # the job's trace identity, so mine() spans, checkpoint sinks and
+        # journal records all correlate on one trace id
+        with trace_scope(job.trace):
+            while True:
+                job.attempts += 1
+                self._notify(job, "started")
+                try:
+                    with cancel_scope(job.token):
+                        fault_point("worker.crash")
+                        result = self._runner(job)
+                except OperationCancelledError as exc:
+                    code = (
+                        "deadline" if "deadline" in job.token.reason else "cancelled"
                     )
-                return
-            else:
-                job.result = result
-                self._finish(job, DONE, None, None)
-                return
+                    self._finish(job, CANCELLED, str(exc), code)
+                    return
+                except Exception as exc:  # keep the worker alive on runner bugs
+                    policy = self._retry_policy
+                    if policy is not None and self._retry_allowed(job, exc):
+                        self._retries.add(1)
+                        self._notify(job, "retry")
+                        if self._backoff_wait(
+                            job, backoff_delay(job.attempts, policy)
+                        ):
+                            self._finish(
+                                job, CANCELLED,
+                                job.token.reason or "cancelled during retry backoff",
+                                "cancelled",
+                            )
+                            return
+                        continue
+                    if isinstance(exc, ReproError):
+                        self._finish(job, FAILED, str(exc), "error")
+                    else:
+                        self._finish(
+                            job, FAILED, f"{type(exc).__name__}: {exc}", "internal"
+                        )
+                    return
+                else:
+                    job.result = result
+                    self._finish(job, DONE, None, None)
+                    return
 
     def _retry_allowed(self, job: Job, exc: BaseException) -> bool:
         policy = self._retry_policy

@@ -37,11 +37,17 @@ from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.core.checkpoint import MiningCheckpoint
 from repro.db.database import SequenceDatabase
-from repro.exceptions import CheckpointMismatchError, DataFormatError
+from repro.exceptions import (
+    CheckpointMismatchError,
+    DataFormatError,
+    InvalidParameterError,
+)
 from repro.mining.api import mine, run_identity
 from repro.mining.registry import get_algorithm, supports_resume
 from repro.mining.result import MiningResult
 from repro.obs import MetricsRegistry, RunReport
+from repro.obs.events import emit as emit_event
+from repro.obs.trace_context import TraceContext
 from repro.service.cache import CacheKey, FrozenOptions, ResultCache, freeze_options
 from repro.service.errors import UnknownDatabaseError
 from repro.service.journal import (
@@ -52,6 +58,8 @@ from repro.service.journal import (
 )
 from repro.service.registry import DatabaseRegistry, RegisteredDatabase
 from repro.service.scheduler import (
+    CANCELLED,
+    FAILED,
     LATENCY_BUCKETS,
     TERMINAL_STATES,
     Job,
@@ -125,7 +133,7 @@ class MiningService:
             metrics=self.metrics,
             job_history=job_history,
             retry_policy=retry_policy,
-            listener=self._on_job_event if journal is not None else None,
+            listener=self._on_job_event,
         )
 
     # -- databases -----------------------------------------------------------
@@ -153,16 +161,24 @@ class MiningService:
         algorithm: str = "disc-all",
         options: Mapping[str, object] | None = None,
         deadline_seconds: float | None = None,
+        trace: TraceContext | None = None,
     ) -> Job:
         """Validate, consult the cache, and queue a mining job.
 
         A cache hit returns an already-finished job without touching the
         queue (hits are never subject to backpressure); a miss enqueues
         and may raise :class:`ServiceOverloadedError` immediately.
+
+        *trace* is the caller's trace context (parsed from a
+        ``traceparent`` header by the HTTP layer); omitted, the service
+        mints one, so every job has a trace identity.  Cache hits answer
+        under the trace id of the run that actually mined the result.
         """
         entry = self.registry.get(database)
         delta = entry.db.delta_for(min_support)
         get_algorithm(algorithm)  # validates the name before queueing
+        if trace is None:
+            trace = TraceContext.mint()
         request = MineRequest(
             database=entry.name,
             digest=entry.digest,
@@ -174,24 +190,29 @@ class MiningService:
         cached = self.cache.get(request.cache_key())
         if cached is not None:
             job = self.scheduler.submit_finished(
-                request, MineOutcome(cached, cached=True)
+                request,
+                MineOutcome(cached, cached=True),
+                trace=_continued_trace(cached, trace),
             )
             # counted only after submit_finished: a hit during shutdown
             # is a 503, not a served response
             with self._merge_lock:
                 self._cache_hits.add(1)
             return job
-        return self._submit_request(request, deadline_seconds)
+        return self._submit_request(request, deadline_seconds, trace=trace)
 
     def _submit_request(
         self,
         request: MineRequest,
         deadline_seconds: float | None,
         job_id: str | None = None,
+        trace: TraceContext | None = None,
     ) -> Job:
         """Enqueue a cache-missing request and journal its acceptance."""
+        if trace is None:
+            trace = TraceContext.mint()
         job = self.scheduler.submit(
-            request, deadline_seconds=deadline_seconds, job_id=job_id
+            request, deadline_seconds=deadline_seconds, job_id=job_id, trace=trace
         )
         if self.journal is not None:
             with self._journaled_lock:
@@ -206,7 +227,17 @@ class MiningService:
                 options=dict(request.options),
                 deadline_seconds=deadline_seconds,
                 resumed=request.resume_from is not None,
+                trace_id=trace.trace_id,
             )
+        emit_event(
+            "job.accepted",
+            job_id=job.id,
+            trace_id=trace.trace_id,
+            database=request.database,
+            algorithm=request.algorithm,
+            delta=request.delta,
+            resumed=request.resume_from is not None,
+        )
         return job
 
     def job(self, job_id: str) -> Job:
@@ -236,7 +267,12 @@ class MiningService:
           across the restart keep working.
 
         Returns a summary: ``resumed`` / ``restarted`` / ``failed`` job
-        counts plus ``corrupt_lines`` skipped during replay.
+        counts plus ``corrupt_lines`` skipped during replay.  The same
+        tallies — including torn/garbage line counts that the summary's
+        callers historically dropped — are exported as
+        ``service.journal_*`` counters and narrated as a
+        ``journal.replayed`` event, so replay health is visible on
+        ``/metrics`` instead of only in the return value.
         """
         summary = {"resumed": 0, "restarted": 0, "failed": 0, "corrupt_lines": 0}
         if self.journal is None:
@@ -250,6 +286,30 @@ class MiningService:
                         "restarted"] += 1
             else:
                 summary["failed"] += 1
+        with self._merge_lock:
+            self.metrics.counter("service.journal_replayed_lines").add(
+                replay.total_lines
+            )
+            self.metrics.counter("service.journal_corrupt_lines").add(
+                replay.corrupt_lines
+            )
+            self.metrics.counter("service.journal_resumed").add(summary["resumed"])
+            self.metrics.counter("service.journal_restarted").add(
+                summary["restarted"]
+            )
+            self.metrics.counter("service.journal_unresumable").add(
+                summary["failed"]
+            )
+        emit_event(
+            "journal.replayed",
+            level="warn" if replay.corrupt_lines else "info",
+            total_lines=replay.total_lines,
+            corrupt_lines=replay.corrupt_lines,
+            jobs=len(replay.entries),
+            resumed=summary["resumed"],
+            restarted=summary["restarted"],
+            unresumable=summary["failed"],
+        )
         return summary
 
     def _recover_one(self, entry: JournalEntry) -> bool:
@@ -301,7 +361,15 @@ class MiningService:
             options=options,
             resume_from=checkpoint,
         )
-        self._submit_request(request, deadline, job_id=entry.job_id)
+        trace = _recovered_trace(entry.trace_id)
+        emit_event(
+            "job.recovered",
+            job_id=entry.job_id,
+            trace_id=trace.trace_id,
+            resumed=checkpoint is not None,
+            attempts=entry.attempts,
+        )
+        self._submit_request(request, deadline, job_id=entry.job_id, trace=trace)
         with self._merge_lock:
             self._recovered.add(1)
         return True
@@ -333,6 +401,9 @@ class MiningService:
     def _journal_unresumable(self, entry: JournalEntry, reason: str) -> None:
         """Journal a terminal failure for a job that cannot be recovered."""
         if self.journal is not None:
+            fields: dict[str, object] = {}
+            if entry.trace_id is not None:
+                fields["trace_id"] = entry.trace_id
             self.journal.append(
                 "finished",
                 entry.job_id,
@@ -340,7 +411,18 @@ class MiningService:
                 error=f"not recoverable after restart: {reason}",
                 code="unresumable",
                 complete=False,
+                **fields,
             )
+        emit_event(
+            "job.finished",
+            level="error",
+            job_id=entry.job_id,
+            trace_id=entry.trace_id,
+            state="failed",
+            complete=False,
+            code="unresumable",
+            reason=reason,
+        )
 
     # -- introspection -------------------------------------------------------
 
@@ -399,6 +481,8 @@ class MiningService:
             # An identical job completed while this one waited in line.
             with self._merge_lock:
                 self._cache_hits.add(1)
+            # answer under the trace id of the run that mined the result
+            job.trace = _continued_trace(cached, job.trace)
             return MineOutcome(cached, cached=True)
         resumable = supports_resume(request.algorithm)
         # A retry resumes from the job's freshest checkpoint, falling
@@ -445,51 +529,111 @@ class MiningService:
                 or len(checkpoint.completed_partitions)
                 > len(job.progress.completed_partitions)
             )
-            if at_partition_boundary and self.journal is not None:
-                with self._journaled_lock:
-                    journaled = job.id in self._journaled
-                if journaled:
-                    self.journal.append(
-                        "checkpoint",
-                        job.id,
-                        completed_k=checkpoint.completed_k,
-                        partitions=len(checkpoint.completed_partitions),
-                        patterns=len(checkpoint.patterns),
-                        checkpoint=checkpoint.to_dict(),
-                    )
+            if at_partition_boundary:
+                self._journal_event(
+                    job,
+                    "checkpoint",
+                    completed_k=checkpoint.completed_k,
+                    partitions=len(checkpoint.completed_partitions),
+                    patterns=len(checkpoint.patterns),
+                    checkpoint=checkpoint.to_dict(),
+                )
+                emit_event(
+                    "job.checkpoint",
+                    job_id=job.id,
+                    trace_id=(
+                        job.trace.trace_id if job.trace is not None else None
+                    ),
+                    partitions=len(checkpoint.completed_partitions),
+                    completed_k=checkpoint.completed_k,
+                    patterns=len(checkpoint.patterns),
+                )
             job.progress = checkpoint
 
         return sink
 
-    def _on_job_event(self, job: Job, event: str) -> None:
-        """Scheduler lifecycle listener: journal state transitions."""
+    def _journal_event(self, job: Job, event: str, **fields: object) -> None:
+        """Journal one lifecycle record for a job this process accepted."""
         journal = self.journal
         if journal is None:
             return
         with self._journaled_lock:
             if job.id not in self._journaled:
                 return
+        if job.trace is not None:
+            fields.setdefault("trace_id", job.trace.trace_id)
+        journal.append(event, job.id, **fields)
+
+    def _on_job_event(self, job: Job, event: str) -> None:
+        """Scheduler lifecycle listener: journal + narrate transitions."""
+        trace_id = job.trace.trace_id if job.trace is not None else None
         if event == "started":
-            journal.append("started", job.id, attempt=job.attempts)
+            self._journal_event(job, "started", attempt=job.attempts)
+            emit_event(
+                "job.started",
+                job_id=job.id,
+                trace_id=trace_id,
+                attempt=job.attempts,
+            )
         elif event == "retry":
-            journal.append(
-                "retry", job.id, attempt=job.attempts,
-                partitions=(
-                    len(job.progress.completed_partitions)
-                    if job.progress is not None else 0
-                ),
+            partitions = (
+                len(job.progress.completed_partitions)
+                if job.progress is not None else 0
+            )
+            self._journal_event(
+                job, "retry", attempt=job.attempts, partitions=partitions
+            )
+            emit_event(
+                "job.retry",
+                level="warn",
+                job_id=job.id,
+                trace_id=trace_id,
+                attempt=job.attempts,
+                partitions=partitions,
             )
         elif event in TERMINAL_STATES:
             complete = True
             outcome = job.result
             if isinstance(outcome, MineOutcome):
                 complete = outcome.result.complete
-            journal.append(
-                "finished", job.id, state=event,
+            self._journal_event(
+                job, "finished", state=event,
                 error=job.error, code=job.error_code, complete=complete,
             )
-            with self._journaled_lock:
-                self._journaled.discard(job.id)
+            if self.journal is not None:
+                with self._journaled_lock:
+                    self._journaled.discard(job.id)
+            born_finished = (
+                isinstance(outcome, MineOutcome)
+                and outcome.cached
+                and job.attempts == 0
+            )
+            if event == CANCELLED:
+                emit_event(
+                    "job.cancelled",
+                    level="warn",
+                    job_id=job.id,
+                    trace_id=trace_id,
+                    reason=job.error,
+                )
+            elif born_finished:
+                # a cache hit served without running: narrate it as a
+                # hit, under the original mining run's trace id
+                emit_event("job.cache_hit", job_id=job.id, trace_id=trace_id)
+            else:
+                emit_event(
+                    "job.finished",
+                    level="error" if event == FAILED else "info",
+                    job_id=job.id,
+                    trace_id=trace_id,
+                    state=event,
+                    complete=complete,
+                    cached=(
+                        outcome.cached
+                        if isinstance(outcome, MineOutcome)
+                        else False
+                    ),
+                )
 
     def _absorb_report(self, report: RunReport) -> None:
         """Merge one job's counters into the cumulative service registry.
@@ -508,6 +652,38 @@ class MiningService:
             labels = entry.get("labels")
             label_map = labels if isinstance(labels, dict) else {}
             self.metrics.counter(name, **label_map).add(value)
+
+
+def _continued_trace(
+    result: MiningResult, fallback: TraceContext | None
+) -> TraceContext | None:
+    """The trace identity a cache hit answers under.
+
+    A cached result carries the trace id of the run that actually mined
+    it, stamped on the root span of its :class:`RunReport`; a hit must
+    answer under *that* id — not a freshly minted one — so clients can
+    join their response to the run that produced the bytes.  Falls back
+    to the caller's context when the result was mined unobserved.
+    """
+    report = result.report
+    if report is not None and report.spans:
+        value = report.spans[0].attrs.get("trace_id")
+        if isinstance(value, str):
+            try:
+                return TraceContext.continue_trace(value)
+            except InvalidParameterError:
+                return fallback
+    return fallback
+
+
+def _recovered_trace(trace_id: str | None) -> TraceContext:
+    """The trace a recovered job resumes under: journaled id, new span."""
+    if trace_id is not None:
+        try:
+            return TraceContext.continue_trace(trace_id)
+        except InvalidParameterError:
+            return TraceContext.mint()
+    return TraceContext.mint()
 
 
 def _highest_job_number(replay: JournalReplay) -> int:

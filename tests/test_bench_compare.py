@@ -1,0 +1,198 @@
+"""The perf-regression gate (repro.bench.compare + ``bench --compare``).
+
+Document-vs-document semantics: counters are exact, timings are
+tolerance-checked, calibration absorbs uniform machine-speed deltas but
+still flags a slowdown concentrated in one run, and the CLI exit code
+is the CI contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.baseline import BASELINE_FORMAT, BASELINE_VERSION
+from repro.bench.compare import (
+    COMPARE_FORMAT,
+    compare_documents,
+    load_baseline,
+    render_verdict,
+)
+from repro.cli import main
+from repro.exceptions import DataFormatError
+
+
+def make_document(runs=2, elapsed=1.0):
+    """A small synthetic baseline document with consistent counters."""
+    rows = []
+    for index in range(runs):
+        rows.append({
+            "algorithm": "disc-all",
+            "minsup": 0.03 / (index + 1),
+            "delta": 18 - index,
+            "patterns": 100 + index,
+            "elapsed_seconds": elapsed * (index + 1),
+            "phase_seconds": {
+                "mine": elapsed * (index + 1),
+                "algorithm": elapsed * (index + 1) * 0.9,
+                "post_filter": 0.001,
+            },
+            "counters": {
+                "disc.comparisons": 1000 + index,
+                "disc.lemma1_frequent": 600 + index,
+                "disc.lemma2_prunes": 400,
+            },
+        })
+    return {
+        "format": BASELINE_FORMAT,
+        "version": BASELINE_VERSION,
+        "scale": "repro",
+        "database_size": 600,
+        "runs": rows,
+    }
+
+
+def scaled(document, factor):
+    copy = json.loads(json.dumps(document))
+    for run in copy["runs"]:
+        run["elapsed_seconds"] *= factor
+        for phase in run["phase_seconds"]:
+            run["phase_seconds"][phase] *= factor
+    return copy
+
+
+class TestCompareDocuments:
+    def test_identical_documents_pass(self):
+        doc = make_document()
+        verdict = compare_documents(doc, make_document())
+        assert verdict["format"] == COMPARE_FORMAT
+        assert verdict["verdict"] == "pass"
+        assert verdict["regressions"] == 0
+        assert all(run["status"] == "ok" for run in verdict["runs"])
+
+    def test_within_tolerance_passes(self):
+        verdict = compare_documents(make_document(), scaled(make_document(), 1.3))
+        assert verdict["verdict"] == "pass"
+
+    def test_uniform_slowdown_fails_uncalibrated(self):
+        verdict = compare_documents(make_document(), scaled(make_document(), 3.0))
+        assert verdict["verdict"] == "fail"
+        assert verdict["regressions"] == len(verdict["runs"])
+
+    def test_calibration_absorbs_uniform_machine_delta(self):
+        verdict = compare_documents(
+            make_document(), scaled(make_document(), 3.0), calibrate=True
+        )
+        assert verdict["verdict"] == "pass"
+        assert verdict["calibration_ratio"] == pytest.approx(3.0)
+
+    def test_calibration_still_catches_one_slow_run(self):
+        candidate = make_document(runs=3)
+        run = candidate["runs"][0]
+        run["elapsed_seconds"] *= 4.0
+        for phase in run["phase_seconds"]:
+            run["phase_seconds"][phase] *= 4.0
+        verdict = compare_documents(
+            make_document(runs=3), candidate, calibrate=True
+        )
+        assert verdict["verdict"] == "fail"
+        assert verdict["regressions"] == 1
+
+    def test_tiny_absolute_deltas_never_regress(self):
+        base = make_document(runs=1, elapsed=0.01)
+        candidate = scaled(base, 4.0)  # 10ms -> 40ms: under the slack floor
+        verdict = compare_documents(base, candidate)
+        assert verdict["verdict"] == "pass"
+
+    def test_counter_drift_is_a_behaviour_change(self):
+        candidate = make_document()
+        candidate["runs"][0]["counters"]["disc.comparisons"] += 1
+        verdict = compare_documents(make_document(), candidate)
+        assert verdict["verdict"] == "fail"
+        findings = verdict["runs"][0]["findings"]
+        assert any("disc.comparisons" in f for f in findings)
+        # the +1 also broke comparisons == lemma1 + lemma2
+        assert any("invariant" in f for f in findings)
+
+    def test_pattern_count_mismatch_fails(self):
+        candidate = make_document()
+        candidate["runs"][1]["patterns"] += 5
+        verdict = compare_documents(make_document(), candidate)
+        assert verdict["verdict"] == "fail"
+
+    def test_missing_and_extra_runs_flagged(self):
+        candidate = make_document(runs=1)
+        verdict = compare_documents(make_document(runs=2), candidate)
+        assert verdict["verdict"] == "fail"
+        assert any("missing" in f for f in verdict["structure_findings"])
+
+    def test_scale_mismatch_raises(self):
+        candidate = make_document()
+        candidate["scale"] = "paper"
+        with pytest.raises(DataFormatError, match="scale"):
+            compare_documents(make_document(), candidate)
+
+    def test_render_names_every_regression(self):
+        candidate = scaled(make_document(), 3.0)
+        verdict = compare_documents(make_document(), candidate)
+        text = render_verdict(verdict)
+        assert "verdict: FAIL" in text
+        assert "REGRESSION" in text
+
+
+class TestLoadBaseline:
+    def test_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "nope.json"
+        path.write_text('{"format": "something-else"}', encoding="utf-8")
+        with pytest.raises(DataFormatError):
+            load_baseline(path)
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(DataFormatError):
+            load_baseline(path)
+
+    def test_round_trips_valid_document(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(make_document()), encoding="utf-8")
+        assert load_baseline(path)["scale"] == "repro"
+
+
+class TestCli:
+    def write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document), encoding="utf-8")
+        return str(path)
+
+    def test_exit_zero_on_match(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_document())
+        cand = self.write(tmp_path, "cand.json", make_document())
+        verdict_path = tmp_path / "verdict.json"
+        code = main([
+            "bench", "--compare", base, "--candidate", cand,
+            "--compare-json", str(verdict_path),
+        ])
+        assert code == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+        verdict = json.loads(verdict_path.read_text(encoding="utf-8"))
+        assert verdict["verdict"] == "pass"
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_document())
+        cand = self.write(tmp_path, "cand.json", scaled(make_document(), 3.0))
+        code = main(["bench", "--compare", base, "--candidate", cand])
+        assert code == 1
+        assert "verdict: FAIL" in capsys.readouterr().out
+
+    def test_calibrate_flag_reaches_the_gate(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_document())
+        cand = self.write(tmp_path, "cand.json", scaled(make_document(), 3.0))
+        code = main([
+            "bench", "--compare", base, "--candidate", cand, "--calibrate",
+        ])
+        assert code == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_bad_baseline_path_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["bench", "--compare", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

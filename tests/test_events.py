@@ -1,0 +1,173 @@
+"""The structured event log (repro.obs.events).
+
+Record shape and vocabulary validation, level filtering, ambient
+trace-id auto-fill, the module-global install discipline (the hot path
+must stay free when nothing is installed), and the forgiving JSONL
+reader.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import DataFormatError, InvalidParameterError
+from repro.obs import events as obs_events
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EVENT_VERSION,
+    EVENT_VOCABULARY,
+    NOOP_EVENT_LOG,
+    EventLog,
+    event_log,
+    read_events,
+    validate_event,
+)
+from repro.obs.trace_context import TraceContext, trace_scope
+
+
+def emitted(buffer: io.StringIO) -> list[dict]:
+    return [
+        json.loads(line) for line in buffer.getvalue().splitlines() if line.strip()
+    ]
+
+
+class TestEventLog:
+    def test_record_envelope(self):
+        buffer = io.StringIO()
+        log = EventLog(buffer)
+        log.emit("job.started", job_id="j1", attempt=1)
+        [record] = emitted(buffer)
+        assert record["schema"] == EVENT_SCHEMA
+        assert record["version"] == EVENT_VERSION
+        assert record["event"] == "job.started"
+        assert record["level"] == "info"
+        assert record["job_id"] == "j1"
+        assert record["attempt"] == 1
+        assert isinstance(record["ts"], float)
+        assert validate_event(record) == []
+
+    def test_min_level_filters(self):
+        buffer = io.StringIO()
+        log = EventLog(buffer, min_level="warn")
+        log.emit("job.started", level="info", job_id="j1", attempt=1)
+        log.emit("job.retry", level="warn", job_id="j1", attempt=2)
+        records = emitted(buffer)
+        assert [r["event"] for r in records] == ["job.retry"]
+
+    def test_unknown_level_rejected(self):
+        log = EventLog(io.StringIO())
+        with pytest.raises(InvalidParameterError):
+            log.emit("job.started", level="loud", job_id="j1", attempt=1)
+        with pytest.raises(InvalidParameterError):
+            EventLog(io.StringIO(), min_level="loud")
+
+    def test_ambient_trace_id_autofill(self):
+        buffer = io.StringIO()
+        log = EventLog(buffer)
+        ctx = TraceContext.mint()
+        with trace_scope(ctx):
+            log.emit("job.started", job_id="j1", attempt=1)
+        log.emit("job.started", job_id="j2", attempt=1)
+        ambient, outside = emitted(buffer)
+        assert ambient["trace_id"] == ctx.trace_id
+        assert "trace_id" not in outside
+
+    def test_explicit_trace_id_wins(self):
+        buffer = io.StringIO()
+        log = EventLog(buffer)
+        with trace_scope(TraceContext.mint()):
+            log.emit("job.started", trace_id="f" * 32, job_id="j1", attempt=1)
+        [record] = emitted(buffer)
+        assert record["trace_id"] == "f" * 32
+
+    def test_file_target_appends(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("mine.phase", phase="algorithm", seconds=0.5)
+        log.close()
+        log = EventLog(path)
+        log.emit("mine.phase", phase="partition", seconds=0.25)
+        log.close()
+        records = read_events(path)
+        assert [r["phase"] for r in records] == ["algorithm", "partition"]
+
+    def test_emit_after_close_is_dropped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.close()
+        log.emit("mine.phase", phase="algorithm", seconds=0.5)  # no raise
+        assert read_events(path) == []
+
+
+class TestInstallDiscipline:
+    def test_default_is_noop(self):
+        assert obs_events.installed() is NOOP_EVENT_LOG
+        assert not obs_events.enabled()
+        obs_events.emit("job.started", job_id="j1", attempt=1)  # free no-op
+
+    def test_event_log_scope_installs_and_restores(self):
+        buffer = io.StringIO()
+        with event_log(EventLog(buffer)) as log:
+            assert obs_events.enabled()
+            assert obs_events.installed() is log
+            obs_events.emit("job.cancelled", job_id="j1", reason="test")
+        assert not obs_events.enabled()
+        obs_events.emit("job.cancelled", job_id="j2", reason="dropped")
+        records = emitted(buffer)
+        assert [r["job_id"] for r in records] == ["j1"]
+
+
+class TestValidation:
+    def test_vocabulary_field_enforcement(self):
+        record = {
+            "schema": EVENT_SCHEMA, "version": EVENT_VERSION, "ts": 1.0,
+            "level": "info", "event": "job.checkpoint", "job_id": "j1",
+        }
+        problems = validate_event(record)
+        assert any("partitions" in p for p in problems)
+        record["partitions"] = 3
+        assert validate_event(record) == []
+
+    def test_unknown_event_flagged(self):
+        record = {
+            "schema": EVENT_SCHEMA, "version": EVENT_VERSION, "ts": 1.0,
+            "level": "info", "event": "job.imaginary",
+        }
+        assert any("unknown event" in p for p in validate_event(record))
+
+    def test_envelope_problems_reported(self):
+        assert validate_event("not a dict") == ["record is not a JSON object"]
+        problems = validate_event({"schema": "other", "version": 99,
+                                   "ts": "late", "level": "loud", "event": 7})
+        assert len(problems) == 5
+
+    def test_every_vocabulary_event_names_fields(self):
+        for name, fields in EVENT_VOCABULARY.items():
+            assert isinstance(fields, tuple)
+            assert "." in name
+
+
+class TestReader:
+    def test_torn_tail_forgiven(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("mine.phase", phase="algorithm", seconds=0.5)
+        log.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"schema": "repro.eve')  # crash mid-write
+        records = read_events(path)
+        assert len(records) == 1
+
+    def test_all_garbage_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("not json at all\n{{{\n", encoding="utf-8")
+        with pytest.raises(DataFormatError):
+            read_events(path)
+
+    def test_missing_or_empty_is_empty(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert read_events(path) == []

@@ -1,0 +1,74 @@
+"""Profiling hooks (repro.bench.profiling + ``repro profile``).
+
+One profiled run must yield both views — per-phase seconds from the
+span tree and a cProfile hotspot table — in a stable document shape.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.profiling import (
+    PROFILE_FORMAT,
+    PROFILE_VERSION,
+    profile_mine,
+    render_profile,
+)
+from repro.cli import main
+from repro.db import io as dbio
+from repro.db.database import SequenceDatabase
+from repro.mining.api import mine
+
+from tests.conftest import TABLE1_TEXTS
+
+
+def table1() -> SequenceDatabase:
+    return SequenceDatabase.from_texts(TABLE1_TEXTS)
+
+
+class TestProfileMine:
+    def test_document_shape(self):
+        document = profile_mine(table1(), 2, top=5)
+        assert document["format"] == PROFILE_FORMAT
+        assert document["version"] == PROFILE_VERSION
+        assert document["algorithm"] == "disc-all"
+        assert document["delta"] == 2
+        assert document["patterns"] == len(mine(table1(), 2))
+        assert 0 < len(document["hotspots"]) <= 5
+        for row in document["hotspots"]:
+            assert set(row) == {
+                "function", "file", "line", "calls", "tottime", "cumtime",
+            }
+        # hotspots are ordered by self time, heaviest first
+        tottimes = [row["tottime"] for row in document["hotspots"]]
+        assert tottimes == sorted(tottimes, reverse=True)
+
+    def test_phases_come_from_the_span_tree(self):
+        document = profile_mine(table1(), 2)
+        assert "algorithm" in document["phase_seconds"]
+        assert all(
+            seconds >= 0 for seconds in document["phase_seconds"].values()
+        )
+
+    def test_render_mentions_phases_and_hotspots(self):
+        document = profile_mine(table1(), 2, top=3)
+        text = render_profile(document)
+        assert "phase seconds:" in text
+        assert "tottime" in text
+        assert "disc-all" in text
+
+
+class TestCli:
+    def test_profile_command_writes_document(self, tmp_path, capsys):
+        db_path = tmp_path / "t1.spmf"
+        dbio.write_spmf(table1(), db_path)
+        out = tmp_path / "profile.json"
+        code = main([
+            "profile", str(db_path), "--min-support", "2",
+            "--top", "4", "-o", str(out),
+        ])
+        assert code == 0
+        assert "phase seconds:" in capsys.readouterr().out
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["format"] == PROFILE_FORMAT
+        assert len(document["hotspots"]) <= 4

@@ -1,0 +1,105 @@
+"""Trace identity (repro.obs.trace_context).
+
+Minting, W3C ``traceparent`` round-trips, tolerant parsing of foreign
+headers, and the ambient context-variable scope the scheduler uses to
+hand a job's trace to the mining layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.obs.trace_context import (
+    TraceContext,
+    current_trace,
+    trace_scope,
+)
+
+
+class TestMinting:
+    def test_mint_shapes(self):
+        ctx = TraceContext.mint()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        assert ctx.parent_id is None
+        int(ctx.trace_id, 16)  # both ids are hex
+        int(ctx.span_id, 16)
+
+    def test_mint_is_unique(self):
+        seen = {TraceContext.mint().trace_id for _ in range(64)}
+        assert len(seen) == 64
+
+    def test_child_keeps_trace_links_parent(self):
+        parent = TraceContext.mint()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        assert child.span_id != parent.span_id
+
+    def test_continue_trace_joins_existing_trace(self):
+        ctx = TraceContext.mint()
+        rejoined = TraceContext.continue_trace(ctx.trace_id)
+        assert rejoined.trace_id == ctx.trace_id
+        assert rejoined.span_id != ctx.span_id
+
+    @pytest.mark.parametrize(
+        "trace_id", ["", "xyz", "0" * 32, "ABCDEF" + "0" * 26, "ff" * 15]
+    )
+    def test_invalid_ids_rejected(self, trace_id):
+        with pytest.raises(InvalidParameterError):
+            TraceContext(trace_id=trace_id, span_id="1" * 16)
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        ctx = TraceContext.mint()
+        header = ctx.to_traceparent()
+        assert header == f"00-{ctx.trace_id}-{ctx.span_id}-01"
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        # the caller's span becomes our parent; we get a fresh span
+        assert parsed.parent_id == ctx.span_id
+        assert parsed.span_id != ctx.span_id
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-short-01",
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # all-zero trace
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span
+            "ff-" + "a" * 32 + "-" + "1" * 16 + "-01",  # forbidden version
+            "00-" + "a" * 32 + "-" + "1" * 16,  # missing flags
+            "00-" + "a" * 32 + "-" + "1" * 16 + "-01-extra",  # v00 is exactly 4 parts
+        ],
+    )
+    def test_malformed_headers_return_none(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_future_version_with_extra_fields_accepted(self):
+        header = "cc-" + "a" * 32 + "-" + "1" * 16 + "-01-futurestuff"
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed is not None and parsed.trace_id == "a" * 32
+
+
+class TestAmbientScope:
+    def test_default_is_none(self):
+        assert current_trace() is None
+
+    def test_scope_installs_and_restores(self):
+        ctx = TraceContext.mint()
+        with trace_scope(ctx):
+            assert current_trace() is ctx
+            inner = TraceContext.mint()
+            with trace_scope(inner):
+                assert current_trace() is inner
+            assert current_trace() is ctx
+        assert current_trace() is None
+
+    def test_scope_accepts_none(self):
+        with trace_scope(None):
+            assert current_trace() is None

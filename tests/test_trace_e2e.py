@@ -1,0 +1,302 @@
+"""End-to-end trace propagation and lifecycle narration.
+
+The tentpole guarantee of the observability layer: ONE trace id follows
+a job from the HTTP ``traceparent`` header through acceptance, queueing,
+mining spans, checkpoints, a crash, recovery, and the resumed run — and
+the structured event log replays that lifecycle in order.  Also covers
+the Prometheus ``/metrics`` negotiation and the enriched job payload.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from io import StringIO
+
+import pytest
+
+from repro.db import io as dbio
+from repro.db.database import SequenceDatabase
+from repro.faults import FaultPlan, fault_plan
+from repro.obs.events import EventLog, event_log, read_events, validate_event
+from repro.obs.prometheus import PROMETHEUS_CONTENT_TYPE
+from repro.obs.trace_context import TraceContext
+from repro.service import (
+    JobJournal,
+    MineOutcome,
+    MiningService,
+    RetryPolicy,
+    replay_journal,
+)
+from repro.service.http import make_server
+
+from tests.conftest import TABLE1_TEXTS, TABLE6_TEXTS
+
+from tests.test_service_http import poll_job
+
+DB_TEXTS = list(TABLE6_TEXTS.values())
+
+
+def request_raw(method, url, payload=None, headers=None):
+    """One round-trip returning ``(status, raw bytes, headers)``."""
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    for name, value in (headers or {}).items():
+        request.add_header(name, value)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, response.read(), response.headers
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read(), exc.headers
+
+
+def request_json(method, url, payload=None, headers=None):
+    status, body, response_headers = request_raw(method, url, payload, headers)
+    return status, json.loads(body.decode("utf-8")), response_headers
+
+
+@pytest.fixture
+def served():
+    service = MiningService(workers=1, queue_size=8, cache_entries=16)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", service
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+        service.close(drain=False, timeout=10.0)
+
+
+def register(base, name="t1", texts=TABLE1_TEXTS):
+    buffer = StringIO()
+    dbio.write_spmf(SequenceDatabase.from_texts(texts), buffer)
+    status, body, _ = request_json(
+        "POST", f"{base}/databases",
+        {"name": name, "format": "spmf", "content": buffer.getvalue()},
+    )
+    assert status == 200, body
+    return body
+
+
+def assert_ordered_subsequence(names, expected):
+    """Every name of *expected* occurs, in order, within *names*."""
+    iterator = iter(names)
+    for want in expected:
+        for got in iterator:
+            if got == want:
+                break
+        else:
+            raise AssertionError(
+                f"event {want!r} missing (in order) from {names}"
+            )
+
+
+class TestHttpTracePropagation:
+    def test_traceparent_accepted_and_echoed(self, served):
+        base, _ = served
+        register(base)
+        caller = TraceContext.mint()
+        status, body, headers = request_json(
+            "POST", f"{base}/mine",
+            {"database": "t1", "min_support": 2},
+            headers={"traceparent": caller.to_traceparent()},
+        )
+        assert status == 202, body
+        assert body["trace_id"] == caller.trace_id
+        echoed = TraceContext.from_traceparent(headers["traceparent"])
+        assert echoed is not None and echoed.trace_id == caller.trace_id
+
+        job = poll_job(base, body["job_id"])
+        assert job["trace_id"] == caller.trace_id
+        assert job["queue_wait_seconds"] >= 0
+        assert job["run_seconds"] >= 0
+        status, _, job_headers = request_json(
+            "GET", f"{base}/jobs/{body['job_id']}"
+        )
+        assert caller.trace_id in job_headers["traceparent"]
+
+    def test_malformed_traceparent_mints_a_fresh_trace(self, served):
+        base, _ = served
+        register(base)
+        status, body, _ = request_json(
+            "POST", f"{base}/mine",
+            {"database": "t1", "min_support": 2},
+            headers={"traceparent": "not-a-w3c-header"},
+        )
+        assert status == 202
+        assert len(body["trace_id"]) == 32
+
+    def test_cache_hit_answers_under_the_original_mining_trace(self, served):
+        base, _ = served
+        register(base)
+        first = TraceContext.mint()
+        _, submitted, _ = request_json(
+            "POST", f"{base}/mine",
+            {"database": "t1", "min_support": 2},
+            headers={"traceparent": first.to_traceparent()},
+        )
+        done = poll_job(base, submitted["job_id"])
+        assert done["trace_id"] == first.trace_id
+
+        second = TraceContext.mint()
+        status, hit, _ = request_json(
+            "POST", f"{base}/mine",
+            {"database": "t1", "min_support": 2},
+            headers={"traceparent": second.to_traceparent()},
+        )
+        assert status == 200 and hit["cached"] is True
+        # the cached result was mined under the FIRST trace; the hit
+        # keeps pointing at the run that produced the bytes
+        assert hit["trace_id"] == first.trace_id
+        assert hit["trace_id"] != second.trace_id
+
+
+class TestPrometheusNegotiation:
+    def test_query_parameter_selects_prometheus(self, served):
+        base, _ = served
+        register(base)
+        _, submitted, _ = request_json(
+            "POST", f"{base}/mine", {"database": "t1", "min_support": 2}
+        )
+        poll_job(base, submitted["job_id"])
+        status, body, headers = request_raw(
+            "GET", f"{base}/metrics?format=prometheus"
+        )
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        text = body.decode("utf-8")
+        assert "# TYPE service_cache_misses counter" in text
+        assert "service_cache_misses 1" in text
+        # labeled counters keep their labels, escaped and quoted
+        assert 'service_jobs{state="done"} 1' in text
+        # histograms render cumulative buckets with an +Inf terminal
+        assert 'le="+Inf"' in text
+
+    def test_accept_header_selects_prometheus(self, served):
+        base, _ = served
+        status, body, headers = request_raw(
+            "GET", f"{base}/metrics", headers={"Accept": "text/plain"}
+        )
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        assert b"# TYPE" in body
+
+    def test_default_remains_json(self, served):
+        base, _ = served
+        status, body, headers = request_json("GET", f"{base}/metrics")
+        assert status == 200
+        assert "application/json" in headers["Content-Type"]
+        assert "metrics" in body
+
+    def test_unknown_format_rejected(self, served):
+        base, _ = served
+        status, body, _ = request_json("GET", f"{base}/metrics?format=xml")
+        assert status == 400
+        assert body["error"]["code"] == "bad_parameter"
+
+
+class TestRetryKeepsTrace:
+    def test_injected_crash_retries_under_one_trace(self, tmp_path):
+        db = SequenceDatabase.from_texts(DB_TEXTS)
+        events_path = tmp_path / "events.jsonl"
+        trace = TraceContext.mint()
+        with event_log(EventLog(events_path)):
+            service = MiningService(
+                workers=1, retry_policy=RetryPolicy(max_retries=2)
+            )
+            service.register_database("demo", db)
+            with fault_plan(FaultPlan.from_spec("worker.crash:1")):
+                job = service.submit_mine("demo", 2, trace=trace)
+                service.wait(job.id, timeout=60)
+            assert job.state == "done"
+            assert job.attempts == 2  # first attempt crashed, second won
+            service.close()
+        records = read_events(events_path)
+        job_records = [r for r in records if r.get("job_id") == job.id]
+        assert_ordered_subsequence(
+            [r["event"] for r in job_records],
+            ["job.accepted", "job.started", "job.retry", "job.started",
+             "job.finished"],
+        )
+        # the injected fault is narrated under the same trace
+        fault = next(r for r in records if r["event"] == "fault.injected")
+        assert fault["trace_id"] == trace.trace_id
+        assert all(r.get("trace_id") == trace.trace_id for r in job_records)
+        assert all(validate_event(r) == [] for r in records)
+
+
+class TestCrashRecoveryKeepsTrace:
+    def test_one_trace_across_crash_and_resume(self, tmp_path):
+        db = SequenceDatabase.from_texts(DB_TEXTS)
+        journal_path = tmp_path / "jobs.jsonl"
+        events_path = tmp_path / "events.jsonl"
+        trace = TraceContext.mint()
+
+        with event_log(EventLog(events_path)):
+            # --- first life: accept, checkpoint, then "die" mid-job ---
+            service = MiningService(workers=1, journal=JobJournal(journal_path))
+            service.register_database("demo", db)
+            with fault_plan(FaultPlan.from_spec("disc.partition:3+")):
+                job = service.submit_mine("demo", 2, trace=trace)
+                service.wait(job.id, timeout=60)
+            service.close()
+            # a SIGKILL never writes terminal records: erase them
+            lines = [
+                line
+                for line in journal_path.read_text(encoding="utf-8").splitlines()
+                if line.strip()
+                and json.loads(line)["event"] not in ("finished",)
+            ]
+            journal_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+            # --- second life: recover and finish under the same id ---
+            service = MiningService(workers=1, journal=JobJournal(journal_path))
+            service.register_database("demo", db)
+            summary = service.recover()
+            assert summary["resumed"] == 1
+            recovered = service.job(job.id)
+            assert recovered.trace is not None
+            assert recovered.trace.trace_id == trace.trace_id
+            service.wait(job.id, timeout=60)
+            outcome = recovered.result
+            assert isinstance(outcome, MineOutcome)
+            assert outcome.result.complete
+
+            # the resumed run's RunReport root span carries the trace id
+            report = outcome.result.report
+            assert report is not None
+            assert report.spans[0].attrs["trace_id"] == trace.trace_id
+
+            # journal replay health is exported as counters
+            snapshot = service.metrics_snapshot()
+            assert snapshot["service.journal_resumed"]["value"] == 1
+            assert snapshot["service.journal_corrupt_lines"]["value"] == 0
+            assert snapshot["service.journal_replayed_lines"]["value"] >= 2
+            service.close()
+
+        # every journal record of the job carries the one trace id
+        entry = replay_journal(journal_path).entries[job.id]
+        assert entry.trace_id == trace.trace_id
+
+        # the event log replays the whole lifecycle, in order, on one trace
+        records = read_events(events_path)
+        assert all(validate_event(r) == [] for r in records)
+        job_records = [r for r in records if r.get("job_id") == job.id]
+        assert all(r.get("trace_id") == trace.trace_id for r in job_records)
+        assert_ordered_subsequence(
+            [r["event"] for r in job_records],
+            ["job.accepted", "job.started", "job.checkpoint",
+             "job.recovered", "job.accepted", "job.started", "job.finished"],
+        )
+        finished = [r for r in job_records if r["event"] == "job.finished"]
+        assert finished[-1]["state"] == "done"
+        replayed = next(r for r in records if r["event"] == "journal.replayed")
+        assert replayed["resumed"] == 1
