@@ -38,7 +38,7 @@ from repro.analysis.project import ClassInfo, ProjectModel
 from repro.analysis.visitor import ProjectRule, iter_subtree, register_project
 
 #: rel-path prefixes whose classes participate in the CONC rules
-CONC_SCOPES = ("service/", "obs/")
+CONC_SCOPES = ("service/", "obs/", "cluster/")
 
 _LOCK_FACTORIES = ("threading.Lock", "threading.RLock")
 

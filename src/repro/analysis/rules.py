@@ -98,7 +98,7 @@ class SortsMustDeclareKey(Rule):
     """DISC002: sorts in mining code must declare an explicit key."""
 
     rule_id = "DISC002"
-    title = "sorts in core/, mining/ and service/ must declare an explicit key"
+    title = "sorts in core/, mining/, service/ and cluster/ must declare an explicit key"
     rationale = (
         "The comparative order of Definition 2.2 is the lexicographic order "
         "on *flattened* (item, transaction_number) pairs — which differs "
@@ -108,7 +108,7 @@ class SortsMustDeclareKey(Rule):
         "with a suppression comment.  The service layer handles the same "
         "pattern maps (cache entries, job payloads), so it is in scope too."
     )
-    scopes = ("core/", "mining/", "service/")
+    scopes = ("core/", "mining/", "service/", "cluster/")
 
     def visit(self, node: ast.AST, ctx: LintContext) -> None:
         if not isinstance(node, ast.Call):
@@ -316,7 +316,7 @@ class NoSilentExceptions(Rule):
         "still: a job that never reaches a terminal state hangs its client "
         "forever, so service/ is in scope too."
     )
-    scopes = ("core/", "mining/", "service/")
+    scopes = ("core/", "mining/", "service/", "cluster/")
 
     def visit(self, node: ast.AST, ctx: LintContext) -> None:
         if not isinstance(node, ast.ExceptHandler):

@@ -97,6 +97,18 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     else:
         min_support = args.min_support
     observe = bool(args.trace or args.metrics_json or args.events)
+    options: dict[str, object] = {}
+    if args.processes:
+        if args.algorithm != "disc-all-parallel":
+            raise InvalidParameterError(
+                "--processes only applies to --algorithm disc-all-parallel "
+                f"(got {args.algorithm!r})"
+            )
+        if args.processes < 1:
+            raise InvalidParameterError(
+                f"--processes must be >= 1, got {args.processes}"
+            )
+        options["processes"] = args.processes
     if args.events:
         from repro.obs.events import EventLog, event_log
 
@@ -104,13 +116,16 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         try:
             with event_log(sink):
                 result = mine(
-                    db, min_support, algorithm=args.algorithm, observe=observe
+                    db, min_support, algorithm=args.algorithm,
+                    observe=observe, **options
                 )
         finally:
             sink.close()
         print(f"wrote event log to {args.events}")
     else:
-        result = mine(db, min_support, algorithm=args.algorithm, observe=observe)
+        result = mine(
+            db, min_support, algorithm=args.algorithm, observe=observe, **options
+        )
     print(result.summary())
     if result.report is not None:
         if args.trace:
@@ -297,10 +312,61 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return check_from_args(args)
 
 
+def _serve_worker(args: argparse.Namespace) -> int:
+    """``repro serve --role worker``: a stateless shard-mining endpoint."""
+    from repro.cluster.worker import make_worker_server
+
+    if args.databases:
+        raise InvalidParameterError(
+            "a worker holds no databases; every shard payload carries its "
+            "own member sequences"
+        )
+    server = make_worker_server(host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"repro cluster worker listening on http://{host}:{port}")
+    print("endpoints: POST /shards  GET /healthz  GET /metrics")
+
+    def _terminate(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("worker shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import repro.faults as faults
     from repro.service import JobJournal, MiningService, RetryPolicy
     from repro.service.http import make_server
+
+    if args.role == "worker":
+        if args.worker:
+            raise InvalidParameterError("--worker URLs only apply to --role coordinator")
+        return _serve_worker(args)
+
+    pool = None
+    if args.role == "coordinator":
+        from repro.cluster.coordinator import WorkerPool, register_cluster_algorithm
+
+        if not args.worker:
+            raise InvalidParameterError(
+                "--role coordinator needs at least one --worker URL"
+            )
+        pool = WorkerPool(args.worker, timeout=args.shard_timeout)
+        # registered before the service exists (and before recovery) so
+        # journaled disc-all-cluster jobs validate and resume
+        register_cluster_algorithm(pool)
+        print(
+            f"coordinator: {len(pool)} workers, "
+            f"shard timeout {args.shard_timeout:g}s"
+        )
+    elif args.worker:
+        raise InvalidParameterError("--worker requires --role coordinator")
 
     if args.faults:
         faults.arm(faults.FaultPlan.from_spec(args.faults, seed=args.faults_seed))
@@ -336,6 +402,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_entries=args.cache_entries,
         journal=journal,
         retry_policy=RetryPolicy(max_retries=args.max_retries),
+        role=args.role,
+        worker_pool=pool,
+        default_algorithm="disc-all-cluster" if pool is not None else "disc-all",
     )
     for path in args.databases:
         name = "stdin" if path == "-" else Path(path).stem
@@ -443,6 +512,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run instrumented and print the span/metric report")
     mine_cmd.add_argument("--metrics-json", default="",
                           help="run instrumented and write the run report as JSON")
+    mine_cmd.add_argument("--processes", type=int, default=0, metavar="N",
+                          help="worker processes for --algorithm "
+                               "disc-all-parallel (0 = executor default)")
     mine_cmd.add_argument("--events", default="", metavar="PATH",
                           help="run instrumented and append structured JSONL "
                                "events (mine.phase, ...) to PATH")
@@ -590,6 +662,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: read REPRO_FAULTS)")
     serve.add_argument("--faults-seed", type=int, default=0,
                        help="seed for probabilistic fault rules")
+    serve.add_argument("--role", default="standalone",
+                       choices=("standalone", "coordinator", "worker"),
+                       help="standalone server (default), cluster "
+                            "coordinator, or shard-mining worker")
+    serve.add_argument("--worker", action="append", default=None, metavar="URL",
+                       help="worker base URL (repeatable; coordinator only)")
+    serve.add_argument("--shard-timeout", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="per-shard RPC timeout for the coordinator")
     serve.add_argument("--events", default=None, metavar="PATH",
                        help="append structured lifecycle events (JSONL) here; "
                             "covers recovery and every job")

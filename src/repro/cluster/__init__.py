@@ -1,0 +1,44 @@
+"""Cluster mining: sharded coordinator/worker DISC-all (system S29).
+
+The paper's first-level ``<(lam)>``-partitions are independent once
+membership is known, which makes DISC embarrassingly shardable.  This
+package turns that fact into a small cluster:
+
+- :mod:`repro.cluster.payload` — the portable shard payload format
+  (one partition's members + identity), JSON and binary round-trips.
+- :mod:`repro.cluster.worker` — an HTTP worker that mines one payload
+  per ``POST /shards`` request.
+- :mod:`repro.cluster.coordinator` — membership computation, cost-
+  balanced fan-out with shard-level retry, and the disjoint merge back
+  into one result.
+
+Only the payload API is re-exported here; import the coordinator and
+worker submodules directly (they pull in the registry and service
+layers, which in turn import this package for the payload format).
+"""
+
+from repro.cluster.payload import (
+    PAYLOAD_CONTENT_TYPE,
+    PAYLOAD_FORMAT,
+    PAYLOAD_VERSION,
+    RESULT_FORMAT,
+    RESULT_VERSION,
+    ShardPayload,
+    decode_shard_result,
+    encode_shard_result,
+    members_digest,
+    mine_shard,
+)
+
+__all__ = [
+    "PAYLOAD_CONTENT_TYPE",
+    "PAYLOAD_FORMAT",
+    "PAYLOAD_VERSION",
+    "RESULT_FORMAT",
+    "RESULT_VERSION",
+    "ShardPayload",
+    "decode_shard_result",
+    "encode_shard_result",
+    "members_digest",
+    "mine_shard",
+]

@@ -1,0 +1,543 @@
+"""Cluster coordinator: shard fan-out, retry and merge (system S29).
+
+``disc_all_cluster`` mirrors :func:`repro.core.parallel.disc_all_parallel`
+with workers on the far side of HTTP instead of a local process pool:
+1-sequences are counted locally, each remaining ``<(lam)>``-partition
+becomes a :class:`~repro.cluster.payload.ShardPayload`, and the payloads
+fan out over a :class:`WorkerPool` — largest first (cost-balanced), one
+in-flight shard per worker.  The per-partition pattern maps, disjoint by
+construction, merge back into one output on the coordinating thread.
+
+Threading model: one dispatch thread per worker pops payloads, POSTs
+them and parks the outcome on a notice queue; *all* bookkeeping —
+metrics, events, checkpoint recording, span grafting — happens on the
+coordinating thread that consumes the queue, because observations,
+recorders and the ambient trace are context-variable scoped and the
+checkpoint recorder is single-threaded by design.
+
+Failure policy: a transport-level failure (dead worker, timeout) is
+retryable — the shard goes back to the front of the queue for a
+surviving worker (``cluster.shards_retried``) and counts only against
+the failing worker, which is retired after ``max_worker_failures``
+consecutive misses; a retryable *answer* (5xx) additionally charges the
+shard's ``max_shard_attempts`` budget.  The run aborts with
+:class:`~repro.exceptions.ClusterError` only when a shard exhausts
+``max_shard_attempts``, a worker answers terminally, or no live
+workers remain.  ClusterError is *terminal* to the service's job
+supervisor: the coordinator already retried at shard granularity.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import urllib.error
+import urllib.request
+from collections import deque
+from typing import Iterable, cast
+
+from repro.cluster.payload import (
+    PAYLOAD_CONTENT_TYPE,
+    ShardPayload,
+    decode_shard_result,
+    members_digest,
+)
+from repro.core.cancel import active_token
+from repro.core.checkpoint import active_recorder
+from repro.core.counting import count_frequent_items
+from repro.core.discall import DiscAllOutput
+from repro.core.partition import Member
+from repro.core.sequence import RawSequence
+from repro.exceptions import ClusterError, DataFormatError, InvalidParameterError
+from repro.faults import fault_point
+from repro.mining.registry import (
+    CANDIDATE_PRUNING,
+    CUSTOMER_REDUCING,
+    DATABASE_PARTITIONING,
+    DISC,
+    register_algorithm,
+)
+from repro.obs import RunReport, active
+from repro.obs.context import Observation
+from repro.obs.events import emit as emit_event
+from repro.obs.trace_context import current_trace
+from repro.obs.tracing import NoopTracer
+
+
+class _ShardAttemptError(Exception):
+    """One failed shard RPC, tagged with whether a retry can help.
+
+    ``worker_fault`` marks connection-level failures (unreachable, reset,
+    timed out): those count against the *worker's* failure budget only,
+    not the shard's attempt budget — a dead worker re-trying its own
+    requeued shard must not exhaust ``max_shard_attempts`` before the
+    retirement check hands the shard to a surviving worker.
+    """
+
+    def __init__(
+        self, message: str, retryable: bool, worker_fault: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+        self.worker_fault = worker_fault
+
+
+class WorkerClient:
+    """HTTP client for one worker's ``POST /shards`` endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
+        if not base_url.startswith(("http://", "https://")):
+            raise InvalidParameterError(
+                f"worker URL must be http(s), got {base_url!r}"
+            )
+        if timeout <= 0:
+            raise InvalidParameterError(f"timeout must be > 0, got {timeout}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    @property
+    def name(self) -> str:
+        return self.base_url
+
+    def healthy(self, timeout: float = 2.0) -> bool:
+        """One ``GET /healthz`` probe; False on any failure."""
+        try:
+            with urllib.request.urlopen(
+                self.base_url + "/healthz", timeout=timeout
+            ) as response:
+                doc = json.loads(response.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError):
+            return False
+        return isinstance(doc, dict) and doc.get("status") == "ok"
+
+    def mine_shard(
+        self, payload: ShardPayload, traceparent: str | None = None
+    ) -> tuple[dict[RawSequence, int], RunReport | None]:
+        """POST one payload; returns (patterns, worker report).
+
+        Raises :class:`_ShardAttemptError` with ``retryable`` set from
+        the failure class: transport errors and 5xx answers flagged
+        retryable by the worker can succeed elsewhere; 4xx answers and
+        malformed or foreign results cannot.
+        """
+        headers = {"Content-Type": PAYLOAD_CONTENT_TYPE}
+        if traceparent is not None:
+            headers["traceparent"] = traceparent
+        request = urllib.request.Request(
+            self.base_url + "/shards",
+            data=payload.to_bytes(),
+            headers=headers,
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read()
+        except urllib.error.HTTPError as exc:
+            raise self._http_error(exc) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise _ShardAttemptError(
+                f"worker {self.name} unreachable: {exc}",
+                retryable=True, worker_fault=True,
+            ) from exc
+        try:
+            doc = json.loads(body.decode("utf-8"))
+            if not isinstance(doc, dict):
+                raise DataFormatError("shard result must be a JSON object")
+            lam, digest, patterns, report = decode_shard_result(doc)
+        except (ValueError, DataFormatError) as exc:
+            raise _ShardAttemptError(
+                f"worker {self.name} returned a malformed shard result: {exc}",
+                retryable=False,
+            ) from exc
+        if lam != payload.lam or digest != payload.digest:
+            raise _ShardAttemptError(
+                f"worker {self.name} answered for shard {lam}/{digest[:12]} "
+                f"instead of {payload.lam}/{payload.digest[:12]}",
+                retryable=False,
+            )
+        for raw in patterns:
+            if not raw or not raw[0] or raw[0][0] != payload.lam:
+                raise _ShardAttemptError(
+                    f"worker {self.name} returned a pattern outside "
+                    f"partition {payload.lam}",
+                    retryable=False,
+                )
+        return patterns, report
+
+    def _http_error(self, exc: urllib.error.HTTPError) -> _ShardAttemptError:
+        """Translate an HTTP error answer, honouring the worker's verdict."""
+        retryable = exc.code >= 500
+        message = f"worker {self.name} answered {exc.code}"
+        try:
+            doc = json.loads(exc.read().decode("utf-8"))
+        except (ValueError, UnicodeDecodeError, OSError):
+            # a bare status without a readable body is still classified
+            return _ShardAttemptError(message, retryable=retryable)
+        error = doc.get("error", {}) if isinstance(doc, dict) else {}
+        if isinstance(error, dict):
+            if isinstance(error.get("retryable"), bool):
+                retryable = bool(error["retryable"])
+            if error.get("message"):
+                message = f"{message}: {error['message']}"
+        return _ShardAttemptError(message, retryable=retryable)
+
+
+class WorkerPool:
+    """A fixed set of workers the coordinator fans shards out to."""
+
+    def __init__(
+        self,
+        urls: Iterable[str],
+        timeout: float = 300.0,
+        max_shard_attempts: int = 3,
+        max_worker_failures: int = 3,
+    ) -> None:
+        self.clients = [WorkerClient(url, timeout=timeout) for url in urls]
+        if not self.clients:
+            raise InvalidParameterError("a worker pool needs at least one worker URL")
+        if max_shard_attempts < 1:
+            raise InvalidParameterError(
+                f"max_shard_attempts must be >= 1, got {max_shard_attempts}"
+            )
+        if max_worker_failures < 1:
+            raise InvalidParameterError(
+                f"max_worker_failures must be >= 1, got {max_worker_failures}"
+            )
+        self.max_shard_attempts = max_shard_attempts
+        self.max_worker_failures = max_worker_failures
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    @property
+    def urls(self) -> list[str]:
+        return [client.base_url for client in self.clients]
+
+    def live_count(self, timeout: float = 2.0) -> int:
+        """Workers currently answering ``GET /healthz``."""
+        return sum(1 for client in self.clients if client.healthy(timeout=timeout))
+
+    def run(
+        self, payloads: Iterable[ShardPayload], traceparent: str | None = None
+    ) -> "ShardRun":
+        """Start one fan-out over *payloads*; consume ``run.notices``."""
+        return ShardRun(self, list(payloads), traceparent)
+
+
+#: notice kinds a ShardRun posts (first element of each tuple)
+DISPATCHED = "dispatched"
+SHARD_DONE = "done"
+SHARD_RETRY = "retry"
+WORKER_RETIRED = "retired"
+RUN_FAILED = "failed"
+
+
+class ShardRun:
+    """One fan-out execution: dispatch threads feeding a notice queue.
+
+    The pending deque is sorted by payload cost, largest first, so the
+    heaviest partitions start immediately and the small ones level the
+    tail.  Dispatch threads are daemons: ``close()`` stops new dispatch
+    but does not interrupt an in-flight RPC — its eventual outcome is
+    simply never consumed.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        payloads: list[ShardPayload],
+        traceparent: str | None,
+    ) -> None:
+        self._pool = pool
+        self._traceparent = traceparent
+        self.notices: "queue.Queue[tuple[object, ...]]" = queue.Queue()
+        self._wakeup = threading.Condition()
+        self._pending = deque(  # guarded-by: _wakeup
+            sorted(payloads, key=lambda payload: payload.cost(), reverse=True)
+        )
+        self._attempts: dict[int, int] = {}  # guarded-by: _wakeup
+        self._remaining = len(payloads)  # guarded-by: _wakeup
+        self._live = len(pool.clients)  # guarded-by: _wakeup
+        self._aborted = False  # guarded-by: _wakeup
+        self._threads = [
+            threading.Thread(
+                target=self._dispatch,
+                args=(client,),
+                name=f"shard-dispatch-{index}",
+                daemon=True,
+            )
+            for index, client in enumerate(pool.clients)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def close(self) -> None:
+        """Stop dispatching new shards (idempotent)."""
+        with self._wakeup:
+            self._aborted = True
+            self._wakeup.notify_all()
+
+    # -- dispatch threads ----------------------------------------------------
+
+    def _dispatch(self, client: WorkerClient) -> None:
+        failures = 0
+        while True:
+            shard = self._next_shard()
+            if shard is None:
+                return
+            self.notices.put((DISPATCHED, shard.lam, client.name))
+            try:
+                patterns, report = client.mine_shard(
+                    shard, traceparent=self._traceparent
+                )
+            except _ShardAttemptError as exc:
+                if not exc.retryable:
+                    self._abort(
+                        f"shard {shard.lam} failed terminally on "
+                        f"{client.name}: {exc}"
+                    )
+                    return
+                failures += 1
+                self._requeue(
+                    shard, client, str(exc),
+                    count_attempt=not exc.worker_fault,
+                )
+                if failures >= self._pool.max_worker_failures:
+                    self._retire(client, str(exc))
+                    return
+                continue
+            failures = 0
+            self._complete(shard, client, patterns, report)
+
+    def _next_shard(self) -> ShardPayload | None:
+        with self._wakeup:
+            while True:
+                if self._aborted or self._remaining == 0:
+                    return None
+                if self._pending:
+                    return self._pending.popleft()
+                self._wakeup.wait(0.1)
+
+    def _requeue(
+        self,
+        shard: ShardPayload,
+        client: WorkerClient,
+        message: str,
+        count_attempt: bool = True,
+    ) -> None:
+        with self._wakeup:
+            attempts = self._attempts.get(shard.lam, 0)
+            if count_attempt:
+                attempts += 1
+                self._attempts[shard.lam] = attempts
+            exhausted = attempts >= self._pool.max_shard_attempts
+            if not exhausted:
+                self._pending.appendleft(shard)
+                self._wakeup.notify_all()
+        if exhausted:
+            self._abort(
+                f"shard {shard.lam} failed {attempts} times, "
+                f"last on {client.name}: {message}"
+            )
+        else:
+            self.notices.put((SHARD_RETRY, shard.lam, client.name, message))
+
+    def _retire(self, client: WorkerClient, message: str) -> None:
+        with self._wakeup:
+            self._live -= 1
+            stalled = self._live == 0 and self._remaining > 0
+        self.notices.put((WORKER_RETIRED, client.name, message))
+        if stalled:
+            self._abort(
+                f"no live workers remain ({client.name} retired last: {message})"
+            )
+
+    def _complete(
+        self,
+        shard: ShardPayload,
+        client: WorkerClient,
+        patterns: dict[RawSequence, int],
+        report: RunReport | None,
+    ) -> None:
+        with self._wakeup:
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._wakeup.notify_all()
+        self.notices.put((SHARD_DONE, shard.lam, client.name, patterns, report))
+
+    def _abort(self, message: str) -> None:
+        with self._wakeup:
+            already = self._aborted
+            self._aborted = True
+            self._wakeup.notify_all()
+        if not already:
+            self.notices.put((RUN_FAILED, message))
+
+
+def _absorb_worker_report(obs: Observation, report: RunReport) -> None:
+    """Fold one worker's report into the coordinating observation.
+
+    Counters add into the run's registry, so the job-wide RunReport (and
+    the service registry it is later absorbed into) covers every worker;
+    the worker's span tree is grafted under a ``shard.report`` wrapper,
+    but only when a real tracer is active — the no-op tracer's shared
+    record must never be mutated.
+    """
+    for entry in report.metrics.values():
+        if entry.get("type") != "counter":
+            continue
+        name = entry.get("name")
+        value = entry.get("value")
+        if not isinstance(name, str) or not isinstance(value, int):
+            continue
+        labels = entry.get("labels")
+        label_map = dict(labels) if isinstance(labels, dict) else {}
+        obs.metrics.counter(name, **label_map).add(value)
+    if obs.enabled and report.spans and not isinstance(obs.tracer, NoopTracer):
+        with obs.tracer.span("shard.report") as record:
+            record.children.extend(report.spans)
+
+
+def disc_all_cluster(
+    members: Iterable[Member],
+    delta: int,
+    pool: WorkerPool,
+    bilevel: bool = True,
+    reduce: bool = True,
+    backend: str = "table",
+) -> DiscAllOutput:
+    """DISC-all with first-level partitions mined on cluster workers.
+
+    Returns the same pattern map as :func:`repro.core.discall.disc_all`
+    on the same members/delta (asserted by the tests).  Checkpoint and
+    cancel wiring matches ``disc_all_parallel``: the recorder sees
+    ``partition_done`` for every merged shard on this thread, completed
+    partitions are skipped on resume, and the cancel token is polled
+    between notices — so service journaling, crash recovery and partial
+    results work unchanged with ``algorithm="disc-all-cluster"``.
+    """
+    if delta < 1:
+        raise ValueError(f"delta must be >= 1, got {delta}")
+    obs = active()
+    members = list(members)
+    out = DiscAllOutput()
+    frequent_items = count_frequent_items(members, delta)
+    obs.metrics.counter("counting.frequent", k=1).add(len(frequent_items))
+    for item, count in frequent_items.items():
+        out.patterns[((item,),)] = count
+    item_set = frozenset(frequent_items)
+
+    token = active_token()
+    recorder = active_recorder()
+    recorder.attach(out.patterns)
+
+    digest = members_digest(members)
+    options = {"backend": backend, "bilevel": bilevel, "reduce": reduce}
+    shard_costs = obs.metrics.histogram("cluster.shard_cost")
+    payloads: list[ShardPayload] = []
+    # repro: allow[DISC002] — scalar int items, not sequences
+    for lam in sorted(frequent_items):
+        token.checkpoint()
+        if recorder.should_skip(lam):
+            continue  # already mined by the run this one resumes
+        group = [
+            (cid, seq)
+            for cid, seq in members
+            if any(lam in txn for txn in seq)
+        ]
+        payload = ShardPayload.create(
+            lam, delta, group, item_set,
+            options=options, database_digest=digest,
+        )
+        shard_costs.record(payload.cost())
+        payloads.append(payload)
+    out.stats.first_level_partitions = len(payloads)
+
+    dispatched = obs.metrics.counter("cluster.shards_dispatched")
+    retried = obs.metrics.counter("cluster.shards_retried")
+    failed = obs.metrics.counter("cluster.shards_failed")
+    merged = obs.metrics.counter("cluster.shards_merged")
+
+    # Shard RPCs propagate the job's trace as a child span context, so
+    # every worker's spans and events share the submitting trace id.
+    trace = current_trace()
+    traceparent = trace.child().to_traceparent() if trace is not None else None
+
+    run = pool.run(payloads, traceparent=traceparent)
+    done = 0
+    try:
+        with obs.tracer.span(
+            "cluster.map", shards=len(payloads), workers=len(pool)
+        ):
+            while done < len(payloads):
+                token.checkpoint()
+                try:
+                    notice = run.notices.get(timeout=0.25)
+                except queue.Empty:
+                    continue
+                kind = notice[0]
+                if kind == DISPATCHED:
+                    _, lam, worker = notice
+                    dispatched.add(1)
+                    emit_event("shard.dispatched", lam=lam, worker=worker)
+                elif kind == SHARD_RETRY:
+                    _, lam, worker, message = notice
+                    retried.add(1)
+                    emit_event(
+                        "shard.retried", level="warn",
+                        lam=lam, worker=worker, reason=message,
+                    )
+                elif kind == WORKER_RETIRED:
+                    _, worker, message = notice
+                    emit_event(
+                        "worker.retired", level="warn",
+                        worker=worker, reason=message,
+                    )
+                elif kind == SHARD_DONE:
+                    _, lam, worker = notice[:3]
+                    patterns = cast("dict[RawSequence, int]", notice[3])
+                    report = cast("RunReport | None", notice[4])
+                    fault_point("disc.partition")
+                    out.patterns.update(patterns)
+                    recorder.partition_done(cast(int, lam))
+                    done += 1
+                    merged.add(1)
+                    if report is not None:
+                        _absorb_worker_report(obs, report)
+                    emit_event(
+                        "shard.completed",
+                        lam=lam, worker=worker, patterns=len(patterns),
+                    )
+                else:  # RUN_FAILED
+                    _, message = notice
+                    failed.add(1)
+                    emit_event("shard.failed", level="error", reason=message)
+                    raise ClusterError(str(message))
+    finally:
+        run.close()
+    return out
+
+
+def register_cluster_algorithm(
+    pool: WorkerPool, name: str = "disc-all-cluster"
+) -> None:
+    """Register ``disc-all-cluster`` bound to *pool* (resumable).
+
+    Re-registration replaces a previous pool binding: the coordinator
+    process owns the name, and each ``repro serve --role coordinator``
+    invocation binds it to that server's pool.
+    """
+
+    def _cluster(
+        members: Iterable[Member], delta: int, **options: object
+    ) -> dict[RawSequence, int]:
+        return disc_all_cluster(members, delta, pool=pool, **options).patterns  # type: ignore[arg-type]
+
+    register_algorithm(
+        name,
+        _cluster,
+        replace=True,
+        strategies={CANDIDATE_PRUNING, DATABASE_PARTITIONING, CUSTOMER_REDUCING, DISC},
+        resumable=True,
+    )

@@ -1,0 +1,265 @@
+"""Cluster worker: mines one shard payload per HTTP request (system S29).
+
+A worker is deliberately stateless between requests — it holds no
+databases and no job queue.  Every ``POST /shards`` carries a complete
+:class:`~repro.cluster.payload.ShardPayload`; the worker mines it under
+its own observation and answers with the partition's pattern map plus
+the run's :class:`~repro.obs.RunReport`, which the coordinator folds
+into the job-wide report.  Losing a worker therefore loses nothing but
+in-flight work: the coordinator re-dispatches the shard elsewhere.
+
+Endpoints::
+
+    GET  /            endpoint index
+    GET  /healthz     {"status": "ok", "role": "worker", ...}
+    GET  /metrics     worker counters; JSON or Prometheus text
+    POST /shards      mine one payload (binary or JSON encoding)
+
+Tracing: an incoming ``traceparent`` header scopes the mining run, so
+the worker's spans and the coordinator's job share one trace id; the
+response echoes the header and carries ``trace_id`` in the body.
+
+Errors: a malformed payload answers 400 with ``retryable: false`` (the
+bytes will not improve on another worker); a mining failure answers 500
+with ``retryable`` set from the service's retry classification, which
+the coordinator honours when deciding between re-dispatch and abort.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.cluster.payload import (
+    PAYLOAD_CONTENT_TYPE,
+    ShardPayload,
+    encode_shard_result,
+    mine_shard,
+)
+from repro.exceptions import DataFormatError, InvalidParameterError, ReproError
+from repro.obs import observation
+from repro.obs.context import activated
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.trace_context import TraceContext, trace_scope
+from repro.service.supervise import RETRYABLE, classify
+
+
+class ClusterWorker:
+    """Shared state of one worker process: counters + uptime.
+
+    Request handlers run on one thread per connection, so every counter
+    update and snapshot goes through ``_lock``; the mining itself is
+    lock-free (each request owns its payload and observation).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.metrics = MetricsRegistry()  # guarded-by: _lock
+        self.started = time.monotonic()
+
+    def mine(self, payload: ShardPayload, trace: TraceContext | None) -> dict[str, object]:
+        """Mine one payload under its own observation; returns the result doc."""
+        with trace_scope(trace), activated(observation()) as obs:
+            attrs: dict[str, object] = {
+                "lam": payload.lam,
+                "cost": payload.cost(),
+            }
+            if trace is not None:
+                attrs["trace_id"] = trace.trace_id
+            with obs.tracer.span("shard", **attrs):
+                patterns = mine_shard(payload)
+            # counted inside the observation as well, so the report the
+            # coordinator absorbs carries this worker's contribution
+            obs.metrics.counter("worker.shards_mined").add(1)
+            obs.metrics.counter("worker.patterns_returned").add(len(patterns))
+            report = obs.report()
+        with self._lock:
+            self.metrics.counter("worker.shards_mined").add(1)
+            self.metrics.counter("worker.patterns_returned").add(len(patterns))
+            self.metrics.histogram("worker.shard_cost").record(payload.cost())
+        return encode_shard_result(
+            payload,
+            patterns,
+            report=report,
+            trace_id=trace.trace_id if trace is not None else None,
+        )
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.metrics.counter("worker.shards_failed").add(1)
+
+    def health(self) -> dict[str, object]:
+        with self._lock:
+            mined = self.metrics.counter_total("worker.shards_mined")
+            failed = self.metrics.counter_total("worker.shards_failed")
+        return {
+            "status": "ok",
+            "role": "worker",
+            "shards_mined": mined,
+            "shards_failed": failed,
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
+        }
+
+    def metrics_snapshot(self) -> dict[str, dict[str, object]]:
+        with self._lock:
+            return self.metrics.snapshot()
+
+
+class WorkerRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning server's ClusterWorker."""
+
+    server: "WorkerHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Quiet by default: telemetry lives in /metrics, not stderr."""
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, object],
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload, indent=1).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if headers:
+            for name, value in headers.items():
+                self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(
+        self, status: int, body: str, content_type: str = "text/plain"
+    ) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    @property
+    def worker(self) -> ClusterWorker:
+        return self.server.worker
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        split = urlsplit(self.path)
+        parts = [part for part in split.path.split("/") if part]
+        if not parts:
+            self._send_json(200, _INDEX)
+        elif parts == ["healthz"]:
+            self._send_json(200, self.worker.health())
+        elif parts == ["metrics"]:
+            self._get_metrics(parse_qs(split.query))
+        else:
+            self._send_json(404, _NOT_FOUND)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        parts = [part for part in urlsplit(self.path).path.split("/") if part]
+        if parts == ["shards"]:
+            self._post_shard()
+        else:
+            self._send_json(404, _NOT_FOUND)
+
+    def _get_metrics(self, query: dict[str, list[str]]) -> None:
+        values = query.get("format")
+        fmt = values[-1] if values else None
+        accept = self.headers.get("Accept") or ""
+        if fmt is None and "text/plain" in accept:
+            fmt = "prometheus"
+        if fmt == "prometheus":
+            self._send_text(
+                200,
+                render_prometheus(self.worker.metrics_snapshot()),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+        else:
+            self._send_json(200, {
+                "format": "repro.service-metrics",
+                "version": 1,
+                "metrics": self.worker.metrics_snapshot(),
+            })
+
+    def _post_shard(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        content_type = (self.headers.get("Content-Type") or "").split(";")[0].strip()
+        try:
+            if content_type == PAYLOAD_CONTENT_TYPE:
+                payload = ShardPayload.from_bytes(raw)
+            else:
+                try:
+                    doc = json.loads(raw.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError) as exc:
+                    raise DataFormatError(
+                        f"shard request body is not JSON: {exc}"
+                    ) from exc
+                if not isinstance(doc, dict):
+                    raise DataFormatError("shard request body must be an object")
+                payload = ShardPayload.from_dict(doc)
+        except (DataFormatError, InvalidParameterError) as exc:
+            self.worker.record_failure()
+            self._send_json(400, _error_body("bad_payload", exc, retryable=False))
+            return
+        trace = TraceContext.from_traceparent(self.headers.get("traceparent"))
+        try:
+            result = self.worker.mine(payload, trace)
+        except ReproError as exc:
+            # Mining failed after a well-formed payload: report whether a
+            # retry (on this or another worker) can help, using the same
+            # classification the service's job supervisor applies.
+            self.worker.record_failure()
+            retryable = classify(exc) == RETRYABLE
+            self._send_json(
+                500, _error_body(type(exc).__name__, exc, retryable=retryable)
+            )
+            return
+        headers = None
+        if trace is not None:
+            headers = {"traceparent": trace.to_traceparent()}
+        self._send_json(200, result, headers=headers)
+
+
+def _error_body(code: str, exc: Exception, retryable: bool) -> dict[str, object]:
+    return {
+        "error": {"code": code, "message": str(exc), "retryable": retryable}
+    }
+
+
+_INDEX: dict[str, object] = {
+    "service": "repro.cluster.worker",
+    "endpoints": [
+        "GET /healthz",
+        "GET /metrics",
+        "POST /shards",
+    ],
+}
+
+_NOT_FOUND: dict[str, object] = {
+    "error": {"code": "not_found", "message": "unknown endpoint"}
+}
+
+
+class WorkerHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns a :class:`ClusterWorker`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], worker: ClusterWorker) -> None:
+        self.worker = worker
+        super().__init__(address, WorkerRequestHandler)
+
+
+def make_worker_server(
+    host: str = "127.0.0.1", port: int = 8766, worker: ClusterWorker | None = None
+) -> WorkerHTTPServer:
+    """Bind (but do not start) a worker server; port 0 picks a free one."""
+    return WorkerHTTPServer((host, port), worker or ClusterWorker())

@@ -9,10 +9,16 @@ per frequent item), after which the partitions fan out over a process
 pool and the per-partition pattern maps — disjoint by construction —
 are merged.
 
-The cost model: each worker re-receives its partition's sequences
-(pickling), so the win appears when per-partition mining dominates
-serialisation *and* cores are actually available — on a single-CPU host
-the pool only adds overhead (measured and noted in EXPERIMENTS.md).
+The cost model: each worker re-receives its partition's sequences, so
+the win appears when per-partition mining dominates serialisation *and*
+cores are actually available — on a single-CPU host the pool only adds
+overhead (measured and noted in EXPERIMENTS.md).  Jobs cross the process
+boundary as compact binary shard payloads
+(:mod:`repro.cluster.payload` — the same format the cluster ships over
+HTTP) instead of pickled ``(lam, group, ...)`` tuples; the interned
+vocabulary and varint streams shrink the per-partition bytes (delta in
+EXPERIMENTS.md), and the ``parallel.payload_bytes`` histogram records
+the shipped sizes.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable
 
+from repro.cluster.payload import ShardPayload, members_digest, mine_shard
 from repro.core.cancel import active_token
 from repro.core.checkpoint import active_recorder
 from repro.core.counting import count_frequent_items
@@ -30,16 +37,9 @@ from repro.faults import fault_point
 from repro.obs import active
 
 
-def _mine_one_partition(
-    args: tuple[int, list[Member], int, frozenset[int], bool, bool, str],
-) -> dict[RawSequence, int]:
-    """Worker: run one first-level partition, return its pattern map."""
-    lam, group, delta, frequent_items, bilevel, reduce, backend = args
-    out = DiscAllOutput()
-    _process_first_level(
-        lam, group, delta, frequent_items, bilevel, reduce, backend, out
-    )
-    return out.patterns
+def _mine_one_partition(blob: bytes) -> dict[RawSequence, int]:
+    """Worker: decode one shard payload, mine it, return its pattern map."""
+    return mine_shard(ShardPayload.from_bytes(blob))
 
 
 def disc_all_parallel(
@@ -81,7 +81,7 @@ def disc_all_parallel(
 
     # Direct membership: the partition of lam holds every sequence
     # containing lam (what the reassignment chains produce lazily).
-    jobs = []
+    jobs: list[tuple[int, list[Member]]] = []
     job_sizes = obs.metrics.histogram("parallel.job_size")
     # repro: allow[DISC002] — scalar int items, not sequences
     for lam in sorted(frequent_items):
@@ -94,26 +94,49 @@ def disc_all_parallel(
             if any(lam in txn for txn in seq)
         ]
         job_sizes.record(len(group))
-        jobs.append((lam, group, delta, item_set, bilevel, reduce, backend))
+        jobs.append((lam, group))
     # Workers run in separate processes, so only coordinator-side counters
     # survive; per-partition evidence stays with the workers by design.
     obs.metrics.counter("parallel.jobs").add(len(jobs))
     out.stats.first_level_partitions = len(jobs)
 
     if processes == 1:
+        # Sequential degeneration skips the payload encoding entirely —
+        # nothing crosses a process boundary.
         with obs.tracer.span("parallel.map", jobs=len(jobs), processes=1):
-            for job in jobs:
+            for lam, group in jobs:
                 token.checkpoint()
                 fault_point("disc.partition")
-                out.patterns.update(_mine_one_partition(job))
-                recorder.partition_done(job[0])
+                part = DiscAllOutput()
+                _process_first_level(
+                    lam, group, delta, item_set, bilevel, reduce, backend, part
+                )
+                out.patterns.update(part.patterns)
+                recorder.partition_done(lam)
         return out
+
+    # Pool path: each job ships as the compact binary shard payload the
+    # cluster also uses, instead of a pickled (lam, group, ...) tuple.
+    digest = members_digest(members)
+    options = {"backend": backend, "bilevel": bilevel, "reduce": reduce}
+    payload_bytes = obs.metrics.histogram("parallel.payload_bytes")
+    blobs: list[bytes] = []
+    for lam, group in jobs:
+        token.checkpoint()
+        blob = ShardPayload.create(
+            lam, delta, group, item_set,
+            options=options, database_digest=digest,
+        ).to_bytes()
+        payload_bytes.record(len(blob))
+        blobs.append(blob)
 
     with obs.tracer.span("parallel.map", jobs=len(jobs), processes=processes):
         with ProcessPoolExecutor(max_workers=processes) as pool:
-            for job, patterns in zip(jobs, pool.map(_mine_one_partition, jobs)):
+            for (lam, _group), patterns in zip(
+                jobs, pool.map(_mine_one_partition, blobs)
+            ):
                 token.checkpoint()
                 fault_point("disc.partition")
                 out.patterns.update(patterns)
-                recorder.partition_done(job[0])
+                recorder.partition_done(lam)
     return out

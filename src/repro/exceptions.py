@@ -64,3 +64,25 @@ class InjectedFaultError(ReproError):
     classifies it as *retryable*, like the infrastructure failures it
     stands in for.
     """
+
+
+class ClusterError(ReproError):
+    """A cluster mining run cannot make progress.
+
+    Raised by the coordinator when a shard exhausts its retry budget,
+    when a worker answers with a terminal (non-retryable) error, or when
+    every worker has been retired while shards remain.  The service
+    classifies it as *terminal*: the coordinator already performed its
+    own shard-level retries across the pool, so restarting the whole job
+    would only repeat them.
+    """
+
+
+class ShardOverlapError(ReproError, ValueError):
+    """Two shard results claim the same pattern.
+
+    First-level ``<(lam)>``-partitions are disjoint by construction, so
+    overlapping shard pattern maps mean the shards were mis-built or a
+    worker answered for the wrong partition.  Merging them would silently
+    corrupt supports, so the overlap is an error, never a warning.
+    """

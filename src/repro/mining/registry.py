@@ -81,9 +81,11 @@ STRATEGIES: dict[str, frozenset[str]] = {
 
 #: Miners wired to the checkpoint recorder (:mod:`repro.core.checkpoint`):
 #: the DISC-all variants whose partition loops notify round boundaries.
-RESUMABLE_ALGORITHMS = frozenset(
-    {"disc-all", "disc-all-plain", "disc-all-parallel"}
-)
+#: Mutable so :func:`register_algorithm` can admit new resumable miners
+#: (the cluster coordinator registers ``disc-all-cluster`` at serve time).
+RESUMABLE_ALGORITHMS: set[str] = {
+    "disc-all", "disc-all-plain", "disc-all-parallel"
+}
 
 
 def supports_resume(name: str) -> bool:
@@ -103,11 +105,27 @@ def strategies_of(name: str) -> frozenset[str]:
     return STRATEGIES.get(name, frozenset())
 
 
-def register_algorithm(name: str, miner: Miner, replace: bool = False) -> None:
-    """Register *miner* under *name*; refuses silent overwrites."""
+def register_algorithm(
+    name: str,
+    miner: Miner,
+    replace: bool = False,
+    strategies: Iterable[str] | None = None,
+    resumable: bool = False,
+) -> None:
+    """Register *miner* under *name*; refuses silent overwrites.
+
+    *strategies* records the Table-5 strategies the miner employs (shown
+    by ``strategies_of``); *resumable* declares that the miner notifies
+    the active :class:`~repro.core.checkpoint.CheckpointRecorder` at
+    partition boundaries, admitting it to checkpoint/resume.
+    """
     if name in _REGISTRY and not replace:
         raise ValueError(f"algorithm {name!r} already registered")
     _REGISTRY[name] = miner
+    if strategies is not None:
+        STRATEGIES[name] = frozenset(strategies)
+    if resumable:
+        RESUMABLE_ALGORITHMS.add(name)
 
 
 def get_algorithm(name: str) -> Miner:

@@ -92,6 +92,62 @@ class MiningResult:
             return parse(pattern)
         return pattern
 
+    # -- merge ---------------------------------------------------------------
+
+    def merge(self, other: "MiningResult") -> "MiningResult":
+        """This result combined with a *disjoint* shard's result.
+
+        The cluster coordinator folds per-partition results with this:
+        both sides must describe the same run (delta, algorithm and
+        database size — :class:`InvalidParameterError` otherwise) and
+        their pattern maps must be disjoint.  First-level partitions
+        never share a pattern, so any overlap means mis-built shards and
+        raises :class:`ShardOverlapError` instead of silently corrupting
+        supports.  Patterns come back in canonical comparative order,
+        reports merge via :meth:`RunReport.merge`, and the merged result
+        is complete only when both sides are.
+        """
+        from repro.exceptions import InvalidParameterError, ShardOverlapError
+
+        if (
+            self.delta != other.delta
+            or self.algorithm != other.algorithm
+            or self.database_size != other.database_size
+        ):
+            raise InvalidParameterError(
+                "cannot merge results of different runs: "
+                f"(delta={self.delta}, algorithm={self.algorithm!r}, "
+                f"|DB|={self.database_size}) vs (delta={other.delta}, "
+                f"algorithm={other.algorithm!r}, |DB|={other.database_size})"
+            )
+        overlap = self.patterns.keys() & other.patterns.keys()
+        if overlap:
+            sample = format_seq(min(overlap, key=sort_key))
+            raise ShardOverlapError(
+                f"{len(overlap)} patterns claimed by both shards "
+                f"(e.g. {sample}); first-level partitions are disjoint, "
+                "so overlapping shard results are mis-built"
+            )
+        combined = {**self.patterns, **other.patterns}
+        ordered = {raw: combined[raw] for raw in sorted(combined, key=sort_key)}
+        report = self.report
+        if report is not None and other.report is not None:
+            report = report.merge(other.report)
+        elif report is None:
+            report = other.report
+        return MiningResult(
+            patterns=ordered,
+            delta=self.delta,
+            algorithm=self.algorithm,
+            database_size=self.database_size,
+            elapsed_seconds=max(self.elapsed_seconds, other.elapsed_seconds),
+            complete=self.complete and other.complete,
+            completed_k=0,
+            checkpoint=None,
+            report=report,
+            _vocabulary=self._vocabulary or other._vocabulary,
+        )
+
     # -- views ---------------------------------------------------------------
 
     def sorted_patterns(self) -> list[RawSequence]:

@@ -61,6 +61,11 @@ EVENT_VOCABULARY: Mapping[str, tuple[str, ...]] = {
     "journal.replayed": ("total_lines", "corrupt_lines"),
     "mine.phase": ("phase", "seconds"),
     "fault.injected": ("site", "hit"),
+    "shard.dispatched": ("lam", "worker"),
+    "shard.completed": ("lam", "worker", "patterns"),
+    "shard.retried": ("lam", "worker"),
+    "shard.failed": ("reason",),
+    "worker.retired": ("worker",),
 }
 
 

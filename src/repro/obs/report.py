@@ -9,7 +9,7 @@ machines (``--metrics-json``).
 
 from __future__ import annotations
 
-from typing import Any, cast
+from typing import Any, Callable, cast
 
 from repro.exceptions import DataFormatError
 from repro.obs.metrics import render_name
@@ -17,6 +17,31 @@ from repro.obs.tracing import SpanRecord
 
 REPORT_FORMAT = "repro.run-report"
 REPORT_VERSION = 1
+
+
+def _num(entry: dict[str, object], field: str) -> int | float:
+    """Numeric field of a metric entry (0 when absent)."""
+    value = entry.get(field, 0)
+    if not isinstance(value, (int, float)):
+        raise DataFormatError(
+            f"metric field {field!r} is not numeric: {value!r}"
+        )
+    return value
+
+
+def _extreme(
+    pick: "Callable[[float, float], float]",
+    ours: object,
+    theirs: object,
+) -> int | float | None:
+    """min/max of two optional extremes, ignoring absent sides."""
+    left = ours if isinstance(ours, (int, float)) else None
+    right = theirs if isinstance(theirs, (int, float)) else None
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return pick(left, right)
 
 
 class RunReport:
@@ -62,6 +87,64 @@ class RunReport:
         for root in self.spans:
             walk(root)
         return totals
+
+    # -- merge algebra -----------------------------------------------------
+
+    def merge(self, other: "RunReport") -> "RunReport":
+        """This report combined with *other*, associatively and commutatively.
+
+        Counters add, gauges keep the larger value (and maximum),
+        histograms add counts/sums/buckets and combine extremes; metric
+        keys present in only one report pass through.  Root spans are
+        concatenated and canonically ordered by their serialised form, so
+        ``a.merge(b)`` and ``b.merge(a)`` produce identical ``to_dict()``
+        documents — the algebra the cluster coordinator folds per-shard
+        worker reports with.  A metric key whose type differs between the
+        two reports raises :class:`DataFormatError`.
+        """
+        import json
+
+        merged = {key: dict(entry) for key, entry in self.metrics.items()}
+        for key, entry in other.metrics.items():
+            ours = merged.get(key)
+            if ours is None:
+                merged[key] = dict(entry)
+                continue
+            kind = ours.get("type")
+            if kind != entry.get("type"):
+                raise DataFormatError(
+                    f"cannot merge metric {key!r}: {kind!r} vs "
+                    f"{entry.get('type')!r}"
+                )
+            if kind == "counter":
+                ours["value"] = _num(ours, "value") + _num(entry, "value")
+            elif kind == "gauge":
+                ours["value"] = max(_num(ours, "value"), _num(entry, "value"))
+                ours["max"] = max(_num(ours, "max"), _num(entry, "max"))
+            elif kind == "histogram":
+                ours["count"] = _num(ours, "count") + _num(entry, "count")
+                ours["sum"] = _num(ours, "sum") + _num(entry, "sum")
+                ours["min"] = _extreme(min, ours.get("min"), entry.get("min"))
+                ours["max"] = _extreme(max, ours.get("max"), entry.get("max"))
+                buckets = dict(cast("dict[str, int]", ours.get("buckets") or {}))
+                for bound, count in cast(
+                    "dict[str, int]", entry.get("buckets") or {}
+                ).items():
+                    buckets[bound] = buckets.get(bound, 0) + count
+                ours["buckets"] = buckets
+            else:
+                raise DataFormatError(
+                    f"cannot merge metric {key!r} of unknown type {kind!r}"
+                )
+        # repro: allow[DISC002] — render_name keys, not sequence values
+        ordered = {key: merged[key] for key in sorted(merged)}
+        spans = sorted(
+            list(self.spans) + list(other.spans),
+            key=lambda record: json.dumps(
+                record.to_dict(), sort_keys=True, default=str
+            ),
+        )
+        return RunReport(ordered, spans)
 
     # -- serialisation -----------------------------------------------------
 

@@ -295,7 +295,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "'min_support' must be a number (int = absolute count, "
                 "float in (0, 1] = fraction)"
             )
-        algorithm = payload.get("algorithm", "disc-all")
+        # a coordinator defaults submissions to its cluster algorithm;
+        # a standalone server keeps the single-box default
+        algorithm = payload.get("algorithm", self.service.default_algorithm)
         if not isinstance(algorithm, str):
             raise InvalidParameterError("'algorithm' must be a string")
         options = payload.get("options")

@@ -67,6 +67,7 @@ from repro.service.scheduler import (
 )
 
 if TYPE_CHECKING:
+    from repro.cluster.coordinator import WorkerPool
     from repro.service.supervise import RetryPolicy
 
 
@@ -110,11 +111,20 @@ class MiningService:
         job_history: int = 1024,
         journal: JobJournal | None = None,
         retry_policy: "RetryPolicy | None" = None,
+        role: str = "standalone",
+        worker_pool: "WorkerPool | None" = None,
+        default_algorithm: str = "disc-all",
     ) -> None:
         self.metrics = MetricsRegistry()
         self.registry = DatabaseRegistry()
         self.cache = ResultCache(cache_entries)
         self.journal = journal
+        #: "standalone", "coordinator" (with a worker pool) — reported on
+        #: ``/healthz``; a cluster coordinator also defaults ``POST /mine``
+        #: submissions to *default_algorithm* (``disc-all-cluster``)
+        self.role = role
+        self.worker_pool = worker_pool
+        self.default_algorithm = default_algorithm
         self._workers = workers
         self._merge_lock = threading.Lock()
         self._cache_hits = self.metrics.counter("service.cache_hits")
@@ -442,14 +452,31 @@ class MiningService:
         return max(1, min(60, math.ceil(estimate)))
 
     def health(self) -> dict[str, object]:
-        """Liveness summary for ``GET /healthz``."""
-        return {
+        """Liveness summary for ``GET /healthz``.
+
+        A coordinator additionally probes its worker pool and reports
+        connected/live worker counts, mirrored as the
+        ``cluster.workers_connected``/``cluster.workers_live`` gauges so
+        the same facts appear on ``/metrics`` (including Prometheus).
+        """
+        doc: dict[str, object] = {
             "status": "shutting_down" if self.scheduler.closed else "ok",
+            "role": self.role,
             "databases": len(self.registry),
             "cache_entries": len(self.cache),
             "queue_depth": self.scheduler.queue_depth(),
             "jobs": len(self.scheduler.jobs()),
         }
+        pool = self.worker_pool
+        if pool is not None:
+            connected = len(pool)
+            live = pool.live_count()
+            with self._merge_lock:
+                self.metrics.gauge("cluster.workers_connected").set(connected)
+                self.metrics.gauge("cluster.workers_live").set(live)
+            doc["workers_connected"] = connected
+            doc["workers_live"] = live
+        return doc
 
     def metrics_snapshot(self) -> dict[str, dict[str, object]]:
         """The live registry as plain data for ``GET /metrics``."""

@@ -242,3 +242,43 @@ class TestStdinAndFormat:
     def test_bad_format_value_is_a_usage_error(self, spmf_file):
         with pytest.raises(SystemExit):
             main(["mine", spmf_file, "--format", "csv", "--min-support", "2"])
+
+
+class TestClusterCli:
+    def test_mine_processes_flag(self, spmf_file, capsys):
+        assert main([
+            "mine", spmf_file, "--min-support", "2",
+            "--algorithm", "disc-all-parallel", "--processes", "1",
+        ]) == 0
+        assert "disc-all-parallel" in capsys.readouterr().out
+
+    def test_processes_requires_parallel_algorithm(self, spmf_file, capsys):
+        assert main([
+            "mine", spmf_file, "--min-support", "2", "--processes", "2",
+        ]) == 2
+        assert "disc-all-parallel" in capsys.readouterr().err
+
+    def test_processes_must_be_positive(self, spmf_file, capsys):
+        assert main([
+            "mine", spmf_file, "--min-support", "2",
+            "--algorithm", "disc-all-parallel", "--processes", "-3",
+        ]) == 2
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_coordinator_requires_worker_urls(self, capsys):
+        assert main(["serve", "--role", "coordinator"]) == 2
+        assert "--worker" in capsys.readouterr().err
+
+    def test_worker_role_rejects_worker_urls(self, capsys):
+        assert main([
+            "serve", "--role", "worker", "--worker", "http://127.0.0.1:1",
+        ]) == 2
+        assert "coordinator" in capsys.readouterr().err
+
+    def test_worker_urls_require_coordinator_role(self, capsys):
+        assert main(["serve", "--worker", "http://127.0.0.1:1"]) == 2
+        assert "--role coordinator" in capsys.readouterr().err
+
+    def test_worker_role_rejects_databases(self, spmf_file, capsys):
+        assert main(["serve", "--role", "worker", spmf_file]) == 2
+        assert "holds no databases" in capsys.readouterr().err

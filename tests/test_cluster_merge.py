@@ -1,0 +1,241 @@
+"""Merge algebra tests: RunReport.merge and MiningResult.merge.
+
+The cluster coordinator folds per-shard results with these operations;
+correctness of the fold requires the report merge to be associative and
+commutative (shards complete in arbitrary order) and the result merge to
+reject overlapping — i.e. mis-built — shards loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.counting import count_frequent_items
+from repro.core.discall import disc_all
+from repro.core.order import sort_key
+from repro.exceptions import (
+    DataFormatError,
+    InvalidParameterError,
+    ShardOverlapError,
+)
+from repro.mining.result import MiningResult
+from repro.obs import RunReport, observation
+from repro.obs.context import activated
+
+
+def report_of(rng: random.Random, spans: bool = False) -> RunReport:
+    """A random small report with integer-valued metrics.
+
+    Integer values keep counter addition exactly associative, so merged
+    ``to_dict()`` documents can be compared for strict equality.
+    """
+    with activated(observation(trace=spans)) as obs:
+        for name in rng.sample(["alpha", "beta", "gamma", "delta"], rng.randint(1, 4)):
+            obs.metrics.counter(name).add(rng.randint(1, 100))
+        for name in rng.sample(["depth", "width"], rng.randint(0, 2)):
+            obs.metrics.gauge(name).set(rng.randint(1, 50))
+        for name in rng.sample(["cost", "size"], rng.randint(0, 2)):
+            hist = obs.metrics.histogram(name)
+            for _ in range(rng.randint(1, 5)):
+                hist.record(rng.randint(1, 1000))
+        if spans:
+            with obs.tracer.span("outer", k=rng.randint(1, 9)):
+                with obs.tracer.span("inner"):
+                    pass
+        return obs.report()
+
+
+class TestRunReportMerge:
+    def test_commutative(self):
+        rng = random.Random(11)
+        for _ in range(25):
+            a, b = report_of(rng), report_of(rng)
+            assert a.merge(b).to_dict() == b.merge(a).to_dict()
+
+    def test_associative(self):
+        rng = random.Random(13)
+        for _ in range(25):
+            a, b, c = report_of(rng), report_of(rng), report_of(rng)
+            left = a.merge(b).merge(c).to_dict()
+            right = a.merge(b.merge(c)).to_dict()
+            assert left == right
+
+    def test_commutative_with_spans(self):
+        rng = random.Random(17)
+        for _ in range(10):
+            a = report_of(rng, spans=True)
+            b = report_of(rng, spans=True)
+            assert json.dumps(a.merge(b).to_dict(), sort_keys=True, default=str) \
+                == json.dumps(b.merge(a).to_dict(), sort_keys=True, default=str)
+
+    def test_counters_add(self):
+        with activated(observation(trace=False)) as obs:
+            obs.metrics.counter("n").add(3)
+            a = obs.report()
+        with activated(observation(trace=False)) as obs:
+            obs.metrics.counter("n").add(4)
+            obs.metrics.counter("only_b").add(1)
+            b = obs.report()
+        merged = a.merge(b)
+        assert merged.counter_value("n") == 7
+        assert merged.counter_value("only_b") == 1
+
+    def test_labelled_counters_merge_per_label(self):
+        with activated(observation(trace=False)) as obs:
+            obs.metrics.counter("n", k=1).add(2)
+            a = obs.report()
+        with activated(observation(trace=False)) as obs:
+            obs.metrics.counter("n", k=1).add(5)
+            obs.metrics.counter("n", k=2).add(9)
+            b = obs.report()
+        merged = a.merge(b)
+        assert merged.counter_value("n", k=1) == 7
+        assert merged.counter_value("n", k=2) == 9
+        assert merged.counter_total("n") == 16
+
+    def test_gauges_keep_maximum(self):
+        with activated(observation(trace=False)) as obs:
+            obs.metrics.gauge("depth").set(10)
+            obs.metrics.gauge("depth").set(4)
+            a = obs.report()
+        with activated(observation(trace=False)) as obs:
+            obs.metrics.gauge("depth").set(7)
+            b = obs.report()
+        entry = a.merge(b).metrics["depth"]
+        assert entry["value"] == 7  # larger of the two final values
+        assert entry["max"] == 10
+
+    def test_histograms_combine(self):
+        with activated(observation(trace=False)) as obs:
+            hist = obs.metrics.histogram("cost")
+            hist.record(1)
+            hist.record(100)
+            a = obs.report()
+        with activated(observation(trace=False)) as obs:
+            obs.metrics.histogram("cost").record(50)
+            b = obs.report()
+        entry = a.merge(b).metrics["cost"]
+        assert entry["count"] == 3
+        assert entry["sum"] == 151
+        assert entry["min"] == 1
+        assert entry["max"] == 100
+
+    def test_type_conflict_is_an_error(self):
+        with activated(observation(trace=False)) as obs:
+            obs.metrics.counter("x").add(1)
+            a = obs.report()
+        with activated(observation(trace=False)) as obs:
+            obs.metrics.gauge("x").set(1)
+            b = obs.report()
+        with pytest.raises(DataFormatError, match="cannot merge metric"):
+            a.merge(b)
+
+    def test_inputs_not_mutated(self):
+        with activated(observation(trace=False)) as obs:
+            obs.metrics.counter("n").add(3)
+            a = obs.report()
+        before = json.dumps(a.to_dict(), sort_keys=True, default=str)
+        a.merge(a)
+        assert json.dumps(a.to_dict(), sort_keys=True, default=str) == before
+
+
+def shard_results(members, delta: int, algorithm: str = "disc-all"):
+    """Per-partition MiningResults plus the 1-sequence result, as the
+    coordinator would produce them."""
+    size = len(members)
+    frequent = count_frequent_items(members, delta)
+    full = disc_all(members, delta).patterns
+    ones = MiningResult(
+        patterns={((item,),): count for item, count in frequent.items()},
+        delta=delta, algorithm=algorithm, database_size=size,
+    )
+    shards = [
+        MiningResult(
+            patterns={
+                raw: count for raw, count in full.items()
+                if sum(len(txn) for txn in raw) >= 2 and raw[0][0] == lam
+            },
+            delta=delta, algorithm=algorithm, database_size=size,
+        )
+        for lam in frequent
+    ]
+    return ones, shards
+
+
+class TestMiningResultMerge:
+    def test_disjoint_shards_rebuild_single_box_result(self, table6_members):
+        reference = disc_all(table6_members, 3).patterns
+        ones, shards = shard_results(table6_members, 3)
+        merged = ones
+        for shard in shards:
+            merged = merged.merge(shard)
+        assert merged.patterns == reference
+        # canonical comparative order, independent of merge order
+        assert list(merged.patterns) == sorted(merged.patterns, key=sort_key)
+
+    def test_merge_order_does_not_matter(self, table6_members):
+        ones, shards = shard_results(table6_members, 3)
+        rng = random.Random(3)
+        forward = ones
+        for shard in shards:
+            forward = forward.merge(shard)
+        shuffled = list(shards)
+        rng.shuffle(shuffled)
+        backward = ones
+        for shard in shuffled:
+            backward = backward.merge(shard)
+        assert list(forward.patterns.items()) == list(backward.patterns.items())
+
+    def test_overlap_is_an_error(self, table6_members):
+        ones, _ = shard_results(table6_members, 3)
+        with pytest.raises(ShardOverlapError, match="claimed by both shards"):
+            ones.merge(ones)
+
+    def test_run_mismatch_is_an_error(self):
+        a = MiningResult(patterns={}, delta=2, algorithm="disc-all", database_size=4)
+        for other in (
+            MiningResult(patterns={}, delta=3, algorithm="disc-all", database_size=4),
+            MiningResult(patterns={}, delta=2, algorithm="gsp", database_size=4),
+            MiningResult(patterns={}, delta=2, algorithm="disc-all", database_size=5),
+        ):
+            with pytest.raises(InvalidParameterError, match="different runs"):
+                a.merge(other)
+
+    def test_reports_and_flags_combine(self):
+        with activated(observation(trace=False)) as obs:
+            obs.metrics.counter("n").add(1)
+            report_a = obs.report()
+        with activated(observation(trace=False)) as obs:
+            obs.metrics.counter("n").add(2)
+            report_b = obs.report()
+        a = MiningResult(
+            patterns={((1,),): 2}, delta=1, algorithm="disc-all",
+            database_size=2, elapsed_seconds=0.5, complete=True, report=report_a,
+        )
+        b = MiningResult(
+            patterns={((2,),): 2}, delta=1, algorithm="disc-all",
+            database_size=2, elapsed_seconds=1.5, complete=False, report=report_b,
+        )
+        merged = a.merge(b)
+        assert merged.elapsed_seconds == 1.5
+        assert merged.complete is False
+        assert merged.checkpoint is None
+        assert merged.report is not None
+        assert merged.report.counter_value("n") == 3
+
+    def test_report_passes_through_when_one_side_missing(self):
+        with activated(observation(trace=False)) as obs:
+            obs.metrics.counter("n").add(5)
+            report = obs.report()
+        a = MiningResult(
+            patterns={((1,),): 2}, delta=1, algorithm="disc-all", database_size=2,
+        )
+        b = MiningResult(
+            patterns={((2,),): 2}, delta=1, algorithm="disc-all",
+            database_size=2, report=report,
+        )
+        assert a.merge(b).report is report
+        assert b.merge(a).report is report

@@ -571,6 +571,7 @@ class TestMiningService:
         health = service.health()
         assert health == {
             "status": "ok",
+            "role": "standalone",
             "databases": 1,
             "cache_entries": 1,
             "queue_depth": 0,

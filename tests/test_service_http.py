@@ -121,8 +121,10 @@ class TestEndpoints:
         assert status == 200
         assert body["status"] == "ok"
         assert set(body) == {
-            "status", "databases", "cache_entries", "queue_depth", "jobs",
+            "status", "role", "databases", "cache_entries", "queue_depth",
+            "jobs",
         }
+        assert body["role"] == "standalone"
 
     def test_metrics_schema(self, served):
         base, _ = served
