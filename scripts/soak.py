@@ -1,0 +1,368 @@
+#!/usr/bin/env python
+"""Graded chaos soak for the self-healing cluster (CI: soak-smoke).
+
+Runs a timed, mixed-workload soak against a real coordinator plus
+dynamically registered workers, while injecting the failures the
+resilience layer exists for:
+
+- workers start with ``--coordinator`` and self-register (no static
+  ``--worker`` flags at all — the membership path carries everything),
+- a SIGKILL schedule takes a worker down mid-traffic and restarts it,
+  so lease expiry, breaker opening, shard retry and rejoin-with-a-fresh
+  -breaker all happen against live jobs,
+- membership fault injection (``worker.heartbeat`` probabilistic
+  faults) runs the whole time,
+- concurrent submitter threads keep mine, cache-hit and overload
+  (429-probe) traffic flowing for the soak window.
+
+Every observation is graded through
+:mod:`repro.bench.soak_report` into one ``repro.soak-report`` JSON
+document (``--report`` path), with hard invariants checked at the end:
+every accepted job reached a terminal state, pattern sets are
+byte-identical to a single-box reference, the event log validates, and
+the coordinator holds no orphaned dispatch threads.  Exit status is 0
+unless the verdict grades ``fail`` (degraded soaks pass CI: degradation
+under injected chaos is the feature, not a bug).  Pure stdlib.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src")
+)
+sys.path.insert(0, SRC_DIR)
+# child repro processes must resolve the same tree, installed or not
+os.environ["PYTHONPATH"] = os.pathsep.join(
+    part for part in (SRC_DIR, os.environ.get("PYTHONPATH")) if part
+)
+
+from repro.bench.soak_report import build_report, render_report  # noqa: E402
+from repro.obs.events import read_events, validate_event  # noqa: E402
+
+#: min supports with precomputed single-box references (mine/cache
+#: traffic); high enough that result sets stay small and jobs fast,
+#: so the soak window fits many rounds
+CANONICAL_SUPPORTS = (9, 11, 13, 15)
+BASE_PORT = int(os.environ.get("SOAK_BASE_PORT", "8951"))
+
+
+def request(port: int, path: str, payload: dict | None = None,
+            timeout: float = 10.0):
+    data = json.dumps(payload).encode("utf-8") if payload is not None else None
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        try:
+            return exc.code, json.loads(body)
+        finally:
+            exc.close()
+
+
+def start_process(argv: list[str], port: int, name: str) -> subprocess.Popen:
+    proc = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    for _ in range(300):
+        if proc.poll() is not None:
+            sys.exit(f"{name} died on startup:\n{proc.stdout.read()}")
+        try:
+            request(port, "/healthz", timeout=2.0)
+            return proc
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.1)
+    proc.kill()
+    sys.exit(f"{name} never answered /healthz")
+
+
+def start_worker(port: int, coordinator_port: int) -> subprocess.Popen:
+    return start_process(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--role", "worker", "--port", str(port),
+         "--coordinator", f"http://127.0.0.1:{coordinator_port}"],
+        port, f"worker :{port}",
+    )
+
+
+def poll_job(port: int, job_id: str, timeout: float = 120.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, doc = request(port, f"/jobs/{job_id}")
+        if doc.get("status") in ("done", "failed", "cancelled"):
+            return doc
+        time.sleep(0.1)
+    return {"status": "timeout", "id": job_id}
+
+
+def load_reference(workdir: str, db_path: str, support: int) -> dict[str, int]:
+    """Single-box ``disc-all`` pattern map, rendered like the service."""
+    ref_path = os.path.join(workdir, f"ref-{support}.json")
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli", "mine", db_path,
+         "--min-support", str(support), "--save", ref_path],
+        check=True, stdout=subprocess.DEVNULL,
+    )
+    from repro.core.sequence import format_seq
+
+    with open(ref_path, encoding="utf-8") as handle:
+        return {
+            format_seq(tuple(tuple(elem) for elem in pattern)): count
+            for pattern, count in json.load(handle)["patterns"]
+        }
+
+
+class Soak:
+    """Shared state of one soak run (thread-safe outcome collection)."""
+
+    def __init__(self, coordinator_port: int,
+                 references: dict[int, dict[str, int]]) -> None:
+        self.port = coordinator_port
+        self.references = references
+        self.outcomes: list[dict] = []
+        self.kills: list[dict] = []
+        self._lock = threading.Lock()
+        self._reject_serial = 0
+
+    def record(self, outcome: dict) -> None:
+        with self._lock:
+            self.outcomes.append(outcome)
+
+    def next_reject_support(self) -> float:
+        with self._lock:
+            self._reject_serial += 1
+            # fractional supports are unique per probe, so overload
+            # bursts can never be absorbed by the result cache
+            return 0.010 + 0.0005 * self._reject_serial
+
+    def run_job(self, kind: str, min_support: float) -> None:
+        """Submit one job and grade its life to a terminal outcome."""
+        started = time.time()
+        try:
+            status, doc = request(
+                self.port, "/mine",
+                {"database": "soak", "min_support": min_support},
+                timeout=30.0,
+            )
+        except (urllib.error.URLError, OSError) as exc:
+            self.record({"kind": kind, "status": "unreachable", "error": str(exc)})
+            return
+        if status == 429:
+            self.record({"kind": kind, "status": "rejected"})
+            return
+        if status not in (200, 202):
+            self.record({
+                "kind": kind, "status": f"http_{status}",
+                "error": json.dumps(doc)[:200],
+            })
+            return
+        job = poll_job(self.port, doc["job_id"])
+        outcome = {
+            "kind": kind,
+            "job_id": doc.get("job_id"),
+            "status": job.get("status"),
+            "cached": bool(doc.get("cached")),
+            "seconds": round(time.time() - started, 3),
+        }
+        if job.get("status") == "failed":
+            outcome["error"] = str(job.get("error"))[:200]
+        reference = self.references.get(min_support)
+        if reference is not None and job.get("status") == "done":
+            mined = {
+                entry["pattern"]: entry["support"]
+                for entry in job.get("result", {}).get("patterns", [])
+            }
+            outcome["matched"] = mined == reference
+        self.record(outcome)
+
+
+def submitter(soak: Soak, deadline: float, kind: str, pause: float) -> None:
+    """One traffic thread: canonical mines (and their cache hits)."""
+    first_round = True
+    while time.time() < deadline:
+        for support in CANONICAL_SUPPORTS:
+            if time.time() >= deadline:
+                return
+            # the first pass seeds the cache (kind mine); later passes
+            # of the same supports are expected cache hits
+            soak.run_job("mine" if first_round else kind, support)
+            time.sleep(pause)
+        first_round = False
+
+
+def overload_burst(soak: Soak, size: int) -> None:
+    """Fire *size* unique jobs as fast as possible to probe backpressure."""
+    threads = [
+        threading.Thread(
+            target=soak.run_job, args=("reject", soak.next_reject_support()),
+            daemon=True,
+        )
+        for _ in range(size)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=180.0)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="soak window in seconds (default 30)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="dynamically registered workers (default 2)")
+    parser.add_argument("--kills", type=int, default=1,
+                        help="SIGKILL + restart cycles (default 1)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="write the repro.soak-report JSON here")
+    parser.add_argument("--burst", type=int, default=8,
+                        help="overload-probe burst size (default 8)")
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="soak-")
+    db_path = os.path.join(workdir, "soak.spmf")
+    events_path = os.path.join(workdir, "events.jsonl")
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli", "generate",
+         "--ncust", "300", "--slen", "7", "--tlen", "3",
+         "--nitems", "50", "--seed", "11", "-o", db_path],
+        check=True, stdout=subprocess.DEVNULL,
+    )
+    references = {
+        support: load_reference(workdir, db_path, support)
+        for support in CANONICAL_SUPPORTS
+    }
+    print(f"references ready: {[len(r) for r in references.values()]} patterns")
+
+    coordinator_port = BASE_PORT
+    worker_ports = [BASE_PORT + 1 + i for i in range(args.workers)]
+    coordinator = start_process(
+        [sys.executable, "-m", "repro.cli", "serve", db_path,
+         "--role", "coordinator", "--port", str(coordinator_port),
+         "--workers", "1", "--queue-size", "4",
+         "--lease-seconds", "2", "--degrade-after", "2",
+         "--events", events_path,
+         "--faults", "worker.heartbeat:p0.05", "--faults-seed", "7"],
+        coordinator_port, "coordinator",
+    )
+    workers = {
+        port: start_worker(port, coordinator_port) for port in worker_ports
+    }
+    try:
+        # wait until every worker's self-registration landed
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            _, table = request(coordinator_port, "/workers")
+            if table["counts"]["live"] >= args.workers:
+                break
+            time.sleep(0.1)
+        else:
+            sys.exit(f"workers never all registered: {table}")
+        print(f"{args.workers} workers self-registered; soaking "
+              f"{args.duration:g}s with {args.kills} kill(s)")
+
+        soak = Soak(coordinator_port, references)
+        soak_deadline = time.time() + args.duration
+        traffic = [
+            threading.Thread(
+                target=submitter, args=(soak, soak_deadline, "cache", 0.2),
+                daemon=True,
+            ),
+            threading.Thread(
+                target=submitter, args=(soak, soak_deadline, "mine", 0.5),
+                daemon=True,
+            ),
+        ]
+        for thread in traffic:
+            thread.start()
+
+        # kill schedule: spread evenly through the window, restart after
+        # a few seconds so the rejoin happens while traffic still flows
+        victim_port = worker_ports[-1]
+        victim_url = f"http://127.0.0.1:{victim_port}"
+        for cycle in range(args.kills):
+            time.sleep(max(1.0, args.duration / (args.kills + 1) - 4.0))
+            if time.time() >= soak_deadline:
+                break
+            workers[victim_port].send_signal(signal.SIGKILL)
+            workers[victim_port].wait()
+            soak.kills.append({"worker": victim_url, "ts": time.time()})
+            print(f"SIGKILLed {victim_url} (cycle {cycle + 1})")
+            time.sleep(4.0)
+            workers[victim_port] = start_worker(victim_port, coordinator_port)
+            print(f"restarted {victim_url}; waiting for its rejoin")
+
+        overload_burst(soak, args.burst)
+        for thread in traffic:
+            thread.join(timeout=300.0)
+        print(f"soak window over: {len(soak.outcomes)} graded items")
+
+        # -- hard invariants ------------------------------------------------
+        statuses = [outcome.get("status") for outcome in soak.outcomes]
+        every_job_finished = all(
+            status in ("done", "rejected") for status in statuses
+        )
+        byte_identical = all(
+            outcome.get("matched") is not False for outcome in soak.outcomes
+        )
+        events = read_events(events_path)
+        log_valid = not any(validate_event(record) for record in events)
+        dispatch_threads = None
+        for _ in range(50):  # settle: in-flight RPCs may take a moment
+            _, health = request(coordinator_port, "/healthz")
+            dispatch_threads = health.get("dispatch_threads")
+            if dispatch_threads == 0:
+                break
+            time.sleep(0.2)
+        invariants = {
+            "every_accepted_job_finished": every_job_finished,
+            "results_byte_identical": byte_identical,
+            "event_log_validates": log_valid,
+            "no_orphaned_dispatch_threads": dispatch_threads == 0,
+        }
+
+        report = build_report(
+            soak.outcomes, invariants, events=events, kills=soak.kills,
+            meta={
+                "duration_seconds": args.duration,
+                "workers": args.workers,
+                "kills": args.kills,
+                "statuses": sorted(set(str(s) for s in statuses)),
+            },
+        )
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+            print(f"report written to {args.report}")
+        print(render_report(report))
+        return 1 if report["verdict"] == "fail" else 0
+    finally:
+        for proc in [coordinator] + list(workers.values()):
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in [coordinator] + list(workers.values()):
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

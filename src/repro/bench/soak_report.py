@@ -1,0 +1,217 @@
+"""Schema and grading of the chaos-soak report (system S31).
+
+``scripts/soak.py`` runs a timed, mixed-workload soak against a live
+coordinator/worker cluster while killing and re-registering workers on a
+schedule.  Everything it observes lands here, in one graded
+``repro.soak-report`` JSON document, so CI (and a human reading the
+artifact) gets a verdict, not a log dump.
+
+The grading is three-valued per workload item:
+
+``pass``
+    the item behaved exactly as an unfaulted run would (job done and
+    byte-identical to the single-box reference, cache hit served hot,
+    overload rejected with backpressure);
+``degraded``
+    the item *completed correctly* but visibly leaned on the resilience
+    machinery (shard retries, local-fallback mining, a cache hit that
+    had to re-mine) — expected during fault windows, worth counting;
+``fail``
+    a wrong answer, a lost job, or an error where an answer was due.
+
+Grades cover *behaviour under permitted weirdness*; the hard
+**invariants** are separate booleans that may never break regardless of
+how much chaos is injected: every accepted job reaches a terminal state,
+mined pattern sets are byte-identical to the reference, the event log
+validates, and no dispatch thread outlives its run.  A failed invariant
+forces the overall verdict to ``fail`` even if every line graded pass.
+
+This module is pure data-plumbing (no subprocesses, no sockets) so the
+unit tests can exercise the grading and schema directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+SOAK_FORMAT = "repro.soak-report"
+SOAK_VERSION = 1
+
+PASS = "pass"
+DEGRADED = "degraded"
+FAIL = "fail"
+GRADES = (PASS, DEGRADED, FAIL)
+
+#: event names copied into the report's breaker transition log
+BREAKER_EVENTS = ("breaker.opened", "breaker.half_open", "breaker.closed")
+#: membership lifecycle events copied next to the breaker log
+MEMBERSHIP_EVENTS = (
+    "worker.joined", "worker.suspected", "worker.retired", "worker.left",
+)
+
+
+def classify_outcome(outcome: Mapping[str, Any]) -> tuple[str, str]:
+    """Grade one workload item; returns ``(grade, reason)``.
+
+    The orchestrator records each item as a dict with at least ``kind``
+    (``mine`` / ``cache`` / ``reject``) and ``status`` (terminal job
+    status, or ``rejected`` for a 429).  Optional flags refine the
+    grade: ``matched`` (pattern set equals the reference), ``cached``
+    (answered from the result cache), ``degraded`` (retries or local
+    fallback were involved in completing it).
+    """
+    kind = outcome.get("kind", "mine")
+    status = outcome.get("status")
+    if kind == "reject":
+        # overload probes are *supposed* to bounce; a served answer just
+        # means the queue happened to have room — both are correct
+        if status == "rejected":
+            return PASS, "rejected with explicit backpressure"
+        if status == "done":
+            return PASS, "accepted anyway (queue had room)"
+        return FAIL, f"overload probe ended {status!r}"
+    if status != "done":
+        error = outcome.get("error") or "no error detail"
+        return FAIL, f"job ended {status!r}: {error}"
+    if outcome.get("matched") is False:
+        return FAIL, "pattern set differs from the single-box reference"
+    if kind == "cache" and not outcome.get("cached"):
+        return DEGRADED, "expected a cache hit, re-mined instead"
+    if outcome.get("degraded"):
+        return DEGRADED, "completed through retries or local fallback"
+    return PASS, "behaved like an unfaulted run"
+
+
+def transition_log(events: Iterable[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Breaker and membership transitions, in event-log order."""
+    interesting = set(BREAKER_EVENTS) | set(MEMBERSHIP_EVENTS)
+    log = []
+    for record in events:
+        name = record.get("event")
+        if name in interesting:
+            entry: dict[str, Any] = {
+                "ts": record.get("ts"),
+                "event": name,
+                "worker": record.get("worker"),
+            }
+            if "previous" in record:
+                entry["previous"] = record["previous"]
+            log.append(entry)
+    return log
+
+
+def recovery_latencies(
+    kills: Sequence[Mapping[str, Any]],
+    events: Sequence[Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Per-kill recovery measurements from the coordinator's event log.
+
+    For each kill (``{"worker": url, "ts": wall-clock}``) this finds the
+    first ``worker.joined`` of the same URL after the kill (the rejoin)
+    and the first ``shard.completed`` dispatched to that worker after
+    the rejoin (work actually flowing again).  Latencies are ``None``
+    when the stage never happened inside the soak window — the grading
+    of the surrounding jobs decides whether that matters.
+    """
+    out = []
+    for kill in kills:
+        worker = kill.get("worker")
+        killed_at = kill.get("ts")
+        rejoined_at = None
+        mining_at = None
+        if isinstance(killed_at, (int, float)):
+            for record in events:
+                ts = record.get("ts")
+                if not isinstance(ts, (int, float)) or ts <= killed_at:
+                    continue
+                if record.get("worker") != worker:
+                    continue
+                name = record.get("event")
+                if rejoined_at is None:
+                    if name == "worker.joined":
+                        rejoined_at = ts
+                elif name == "shard.completed":
+                    mining_at = ts
+                    break
+        entry: dict[str, Any] = {"worker": worker, "killed_ts": killed_at}
+        entry["rejoin_seconds"] = (
+            round(rejoined_at - killed_at, 3) if rejoined_at is not None else None
+        )
+        entry["first_shard_after_rejoin_seconds"] = (
+            round(mining_at - rejoined_at, 3)
+            if mining_at is not None and rejoined_at is not None else None
+        )
+        out.append(entry)
+    return out
+
+
+def build_report(
+    outcomes: Sequence[Mapping[str, Any]],
+    invariants: Mapping[str, bool],
+    events: Sequence[Mapping[str, Any]] = (),
+    kills: Sequence[Mapping[str, Any]] = (),
+    meta: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the graded ``repro.soak-report`` v1 document.
+
+    The overall ``verdict`` is ``fail`` when any line grades fail or
+    any invariant is broken, else ``degraded`` when any line grades
+    degraded, else ``pass``.
+    """
+    lines = []
+    counts = {grade: 0 for grade in GRADES}
+    for outcome in outcomes:
+        grade, reason = classify_outcome(outcome)
+        counts[grade] += 1
+        line: dict[str, Any] = {
+            "grade": grade,
+            "kind": outcome.get("kind", "mine"),
+            "reason": reason,
+        }
+        for key in ("job_id", "status", "seconds"):
+            if outcome.get(key) is not None:
+                line[key] = outcome[key]
+        lines.append(line)
+    broken = sorted(name for name, ok in invariants.items() if not ok)
+    if broken or counts[FAIL]:
+        verdict = FAIL
+    elif counts[DEGRADED]:
+        verdict = DEGRADED
+    else:
+        verdict = PASS
+    return {
+        "format": SOAK_FORMAT,
+        "version": SOAK_VERSION,
+        "verdict": verdict,
+        "counts": counts,
+        "lines": lines,
+        "invariants": dict(invariants),
+        "broken_invariants": broken,
+        "recovery": recovery_latencies(kills, events),
+        "transitions": transition_log(events),
+        "meta": dict(meta or {}),
+    }
+
+
+def render_report(report: Mapping[str, Any]) -> str:
+    """A terse human summary of one report (printed by the harness)."""
+    counts = report.get("counts", {})
+    lines = [
+        f"soak verdict: {report.get('verdict')} "
+        f"({counts.get(PASS, 0)} pass, {counts.get(DEGRADED, 0)} degraded, "
+        f"{counts.get(FAIL, 0)} fail)",
+    ]
+    for name in report.get("broken_invariants", []):
+        lines.append(f"  INVARIANT BROKEN: {name}")
+    for line in report.get("lines", []):
+        if line.get("grade") != PASS:
+            subject = line.get("job_id") or line.get("kind")
+            lines.append(f"  {line['grade']}: {subject}: {line['reason']}")
+    for entry in report.get("recovery", []):
+        lines.append(
+            f"  recovery {entry.get('worker')}: rejoin "
+            f"{entry.get('rejoin_seconds')}s, mining again "
+            f"{entry.get('first_shard_after_rejoin_seconds')}s later"
+        )
+    lines.append(f"  breaker/membership transitions: {len(report.get('transitions', []))}")
+    return "\n".join(lines)

@@ -314,17 +314,37 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _serve_worker(args: argparse.Namespace) -> int:
     """``repro serve --role worker``: a stateless shard-mining endpoint."""
-    from repro.cluster.worker import make_worker_server
+    from repro.cluster.worker import ClusterWorker, CoordinatorLink, make_worker_server
 
     if args.databases:
         raise InvalidParameterError(
             "a worker holds no databases; every shard payload carries its "
             "own member sequences"
         )
-    server = make_worker_server(host=args.host, port=args.port)
+    if not args.coordinator and (
+        args.advertise or args.heartbeat_seconds is not None
+    ):
+        raise InvalidParameterError(
+            "--advertise and --heartbeat-seconds require --coordinator"
+        )
+    worker = ClusterWorker(**(
+        {"max_shard_bytes": args.max_shard_bytes}
+        if args.max_shard_bytes is not None else {}
+    ))
+    server = make_worker_server(host=args.host, port=args.port, worker=worker)
     host, port = server.server_address[:2]
     print(f"repro cluster worker listening on http://{host}:{port}")
     print("endpoints: POST /shards  GET /healthz  GET /metrics")
+
+    link = None
+    if args.coordinator:
+        advertise = args.advertise or f"http://{host}:{port}"
+        link = CoordinatorLink(
+            args.coordinator, advertise,
+            heartbeat_seconds=args.heartbeat_seconds,
+        )
+        link.start()
+        print(f"registering with coordinator {args.coordinator} as {advertise}")
 
     def _terminate(signum: int, frame: object) -> None:
         raise KeyboardInterrupt
@@ -335,6 +355,8 @@ def _serve_worker(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("worker shutting down")
     finally:
+        if link is not None:
+            link.stop()
         server.server_close()
     return 0
 
@@ -348,23 +370,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.worker:
             raise InvalidParameterError("--worker URLs only apply to --role coordinator")
         return _serve_worker(args)
+    if args.coordinator or args.advertise:
+        raise InvalidParameterError(
+            "--coordinator and --advertise only apply to --role worker"
+        )
 
     pool = None
     if args.role == "coordinator":
-        from repro.cluster.coordinator import WorkerPool, register_cluster_algorithm
+        from repro.cluster.coordinator import (
+            ShardTimeout,
+            WorkerPool,
+            register_cluster_algorithm,
+        )
 
-        if not args.worker:
-            raise InvalidParameterError(
-                "--role coordinator needs at least one --worker URL"
-            )
-        pool = WorkerPool(args.worker, timeout=args.shard_timeout)
+        pool = WorkerPool(
+            args.worker or (),
+            timeout=ShardTimeout(
+                base=args.shard_timeout,
+                per_member=args.shard_timeout_per_member,
+            ),
+            lease_seconds=args.lease_seconds,
+            degrade_after=args.degrade_after,
+            allow_empty=True,
+        )
         # registered before the service exists (and before recovery) so
         # journaled disc-all-cluster jobs validate and resume
         register_cluster_algorithm(pool)
         print(
-            f"coordinator: {len(pool)} workers, "
+            f"coordinator: {len(pool)} static workers, "
             f"shard timeout {args.shard_timeout:g}s"
+            + (f" + {args.shard_timeout_per_member:g}s/member"
+               if args.shard_timeout_per_member else "")
         )
+        if not args.worker:
+            print("no static workers; waiting for POST /workers registrations")
     elif args.worker:
         raise InvalidParameterError("--worker requires --role coordinator")
 
@@ -667,7 +706,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="standalone server (default), cluster "
                             "coordinator, or shard-mining worker")
     serve.add_argument("--worker", action="append", default=None, metavar="URL",
-                       help="worker base URL (repeatable; coordinator only)")
+                       help="static worker base URL (repeatable; coordinator "
+                            "only; optional — workers may also self-register "
+                            "via POST /workers)")
+    serve.add_argument("--coordinator", default=None, metavar="URL",
+                       help="coordinator base URL to register with "
+                            "(worker role only)")
+    serve.add_argument("--advertise", default=None, metavar="URL",
+                       help="URL the coordinator should dial back "
+                            "(default: the worker's own bind address)")
+    serve.add_argument("--heartbeat-seconds", type=float, default=None,
+                       metavar="SECS",
+                       help="pin the worker's heartbeat interval (default: "
+                            "a third of the coordinator-granted lease)")
+    serve.add_argument("--max-shard-bytes", type=int,
+                       default=None, metavar="BYTES",
+                       help="worker-side shard payload cap; larger bodies "
+                            "answer 413 (default: 64 MiB)")
+    serve.add_argument("--lease-seconds", type=float, default=15.0,
+                       metavar="SECS",
+                       help="coordinator membership lease; workers missing "
+                            "it are suspected, probed, then retired")
+    serve.add_argument("--degrade-after", type=float, default=5.0,
+                       metavar="SECS",
+                       help="stall grace before the coordinator mines "
+                            "remaining shards locally")
+    serve.add_argument("--shard-timeout-per-member", type=float, default=0.0,
+                       metavar="SECS",
+                       help="extra shard RPC timeout per payload member "
+                            "sequence, added to --shard-timeout")
     serve.add_argument("--shard-timeout", type=float, default=300.0,
                        metavar="SECONDS",
                        help="per-shard RPC timeout for the coordinator")

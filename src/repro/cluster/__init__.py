@@ -9,14 +9,25 @@ package turns that fact into a small cluster:
 - :mod:`repro.cluster.worker` — an HTTP worker that mines one payload
   per ``POST /shards`` request.
 - :mod:`repro.cluster.coordinator` — membership computation, cost-
-  balanced fan-out with shard-level retry, and the disjoint merge back
-  into one result.
+  balanced fan-out with shard-level retry, graceful local degradation,
+  and the disjoint merge back into one result.
+- :mod:`repro.cluster.membership` — the coordinator's dynamic lease
+  table: workers register/heartbeat at runtime, a reaper suspects and
+  retires the silent ones.
+- :mod:`repro.cluster.breaker` — per-worker circuit breakers gating
+  shard dispatch.
 
-Only the payload API is re-exported here; import the coordinator and
-worker submodules directly (they pull in the registry and service
-layers, which in turn import this package for the payload format).
+The payload, breaker and membership APIs are re-exported here; import
+the coordinator and worker submodules directly (they pull in the
+registry and service layers, which in turn import this package).
 """
 
+from repro.cluster.breaker import (
+    BREAKER_STATE_CODES,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.cluster.membership import WorkerMembership, WorkerRecord
 from repro.cluster.payload import (
     PAYLOAD_CONTENT_TYPE,
     PAYLOAD_FORMAT,
@@ -31,6 +42,11 @@ from repro.cluster.payload import (
 )
 
 __all__ = [
+    "BREAKER_STATE_CODES",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "WorkerMembership",
+    "WorkerRecord",
     "PAYLOAD_CONTENT_TYPE",
     "PAYLOAD_FORMAT",
     "PAYLOAD_VERSION",

@@ -1,4 +1,4 @@
-"""Cluster coordinator: shard fan-out, retry and merge (system S29).
+"""Cluster coordinator: shard fan-out, retry, degrade and merge (system S29).
 
 ``disc_all_cluster`` mirrors :func:`repro.core.parallel.disc_all_parallel`
 with workers on the far side of HTTP instead of a local process pool:
@@ -8,23 +8,37 @@ fan out over a :class:`WorkerPool` — largest first (cost-balanced), one
 in-flight shard per worker.  The per-partition pattern maps, disjoint by
 construction, merge back into one output on the coordinating thread.
 
-Threading model: one dispatch thread per worker pops payloads, POSTs
-them and parks the outcome on a notice queue; *all* bookkeeping —
-metrics, events, checkpoint recording, span grafting — happens on the
-coordinating thread that consumes the queue, because observations,
-recorders and the ambient trace are context-variable scoped and the
-checkpoint recorder is single-threaded by design.
+Threading model: one dispatch thread per *dispatchable* worker pops
+payloads, POSTs them and parks the outcome on a notice queue; *all*
+bookkeeping — metrics, events, checkpoint recording, span grafting —
+happens on the coordinating thread that consumes the queue, because
+observations, recorders and the ambient trace are context-variable
+scoped and the checkpoint recorder is single-threaded by design.  The
+worker set is no longer frozen at start: the coordinating loop calls
+:meth:`ShardRun.sync_workers` every poll tick, spawning a dispatch
+thread for any worker that joined the pool's
+:class:`~repro.cluster.membership.WorkerMembership` mid-job (or whose
+circuit breaker became ready again) — a freshly registered worker
+starts draining the pending queue with no restart.
 
 Failure policy: a transport-level failure (dead worker, timeout) is
-retryable — the shard goes back to the front of the queue for a
-surviving worker (``cluster.shards_retried``) and counts only against
-the failing worker, which is retired after ``max_worker_failures``
-consecutive misses; a retryable *answer* (5xx) additionally charges the
-shard's ``max_shard_attempts`` budget.  The run aborts with
+retryable — the shard goes back to the front of the queue
+(``cluster.shards_retried``) and counts only against the failing
+worker's :class:`~repro.cluster.breaker.CircuitBreaker`; a retryable
+*answer* (5xx) additionally charges the shard's ``max_shard_attempts``
+budget.  A breaker that opens stops that worker's dispatch thread; the
+half-open probe is re-admitted by ``sync_workers`` after the backoff.
+When *nothing* can dispatch — every worker retired or open, no RPC in
+flight — the run is **stalled**: after ``degrade_after`` seconds the
+coordinator degrades gracefully, mining the remaining shards locally
+through the same checkpoint recorder (``cluster.degraded``,
+``cluster.shards_mined_locally``) so the job still completes
+byte-identical, just slower.  The run aborts with
 :class:`~repro.exceptions.ClusterError` only when a shard exhausts
-``max_shard_attempts``, a worker answers terminally, or no live
-workers remain.  ClusterError is *terminal* to the service's job
-supervisor: the coordinator already retried at shard granularity.
+``max_shard_attempts``, a worker answers terminally, or degradation is
+disabled (``degrade=False``) while stalled.  ClusterError is *terminal*
+to the service's job supervisor: the coordinator already retried at
+shard granularity.
 """
 
 from __future__ import annotations
@@ -32,17 +46,22 @@ from __future__ import annotations
 import json
 import queue
 import threading
+import time
 import urllib.error
 import urllib.request
 from collections import deque
+from dataclasses import dataclass
 from typing import Iterable, cast
 
+from repro.cluster.breaker import BreakerConfig
+from repro.cluster.membership import WorkerMembership, WorkerRecord
 from repro.cluster.payload import (
     PAYLOAD_CONTENT_TYPE,
     ShardPayload,
     decode_shard_result,
     members_digest,
 )
+from repro.cluster.payload import mine_shard as mine_shard_locally
 from repro.core.cancel import active_token
 from repro.core.checkpoint import active_recorder
 from repro.core.counting import count_frequent_items
@@ -65,14 +84,45 @@ from repro.obs.trace_context import current_trace
 from repro.obs.tracing import NoopTracer
 
 
+@dataclass(frozen=True, slots=True)
+class ShardTimeout:
+    """A shard RPC deadline that scales with payload size.
+
+    One fixed timeout misclassifies: a huge skewed partition can take
+    minutes on a healthy worker (a false "dead worker"), while a tiny
+    shard on a truly dead one should fail fast.  The deadline for a
+    payload is ``base + per_member * len(payload.members)``, so cost
+    buys time and small shards keep a tight leash.
+    """
+
+    base: float = 300.0
+    per_member: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise InvalidParameterError(f"timeout must be > 0, got {self.base}")
+        if self.per_member < 0:
+            raise InvalidParameterError(
+                f"per-member timeout must be >= 0, got {self.per_member}"
+            )
+
+    @classmethod
+    def fixed(cls, seconds: float) -> "ShardTimeout":
+        """The pre-scaling behaviour: one deadline for every shard."""
+        return cls(base=float(seconds), per_member=0.0)
+
+    def for_payload(self, payload: ShardPayload) -> float:
+        return self.base + self.per_member * len(payload.members)
+
+
 class _ShardAttemptError(Exception):
     """One failed shard RPC, tagged with whether a retry can help.
 
     ``worker_fault`` marks connection-level failures (unreachable, reset,
-    timed out): those count against the *worker's* failure budget only,
+    timed out): those count against the *worker's* circuit breaker only,
     not the shard's attempt budget — a dead worker re-trying its own
-    requeued shard must not exhaust ``max_shard_attempts`` before the
-    retirement check hands the shard to a surviving worker.
+    requeued shard must not exhaust ``max_shard_attempts`` before its
+    breaker opens and hands the shard to a surviving worker.
     """
 
     def __init__(
@@ -86,15 +136,18 @@ class _ShardAttemptError(Exception):
 class WorkerClient:
     """HTTP client for one worker's ``POST /shards`` endpoint."""
 
-    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
+    def __init__(
+        self, base_url: str, timeout: float | ShardTimeout = 300.0
+    ) -> None:
         if not base_url.startswith(("http://", "https://")):
             raise InvalidParameterError(
                 f"worker URL must be http(s), got {base_url!r}"
             )
-        if timeout <= 0:
-            raise InvalidParameterError(f"timeout must be > 0, got {timeout}")
         self.base_url = base_url.rstrip("/")
-        self.timeout = timeout
+        self.timeout = (
+            timeout if isinstance(timeout, ShardTimeout)
+            else ShardTimeout.fixed(timeout)
+        )
 
     @property
     def name(self) -> str:
@@ -131,7 +184,9 @@ class WorkerClient:
             method="POST",
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout.for_payload(payload)
+            ) as response:
                 body = response.read()
         except urllib.error.HTTPError as exc:
             raise self._http_error(exc) from exc
@@ -184,18 +239,36 @@ class WorkerClient:
 
 
 class WorkerPool:
-    """A fixed set of workers the coordinator fans shards out to."""
+    """The coordinator's worker set plus its dispatch/degradation policy.
+
+    Workers live in a :class:`WorkerMembership` lease table: URLs given
+    here are registered *statically* (no heartbeat lease, health ruled
+    by their breakers alone), and more workers may join at runtime via
+    ``POST /workers`` → :meth:`WorkerMembership.register`.  The pool may
+    start empty (``allow_empty=True``, as ``repro serve`` does when all
+    workers self-register) — a run that finds nobody to dispatch to
+    degrades to local mining after ``degrade_after`` seconds unless
+    ``degrade=False`` demands a hard :class:`ClusterError` instead.
+
+    ``max_worker_failures`` is the breaker's failure threshold:
+    that many consecutive transport/5xx failures stop dispatch to the
+    worker until its half-open probe succeeds.
+    """
 
     def __init__(
         self,
-        urls: Iterable[str],
-        timeout: float = 300.0,
+        urls: Iterable[str] = (),
+        timeout: float | ShardTimeout = 300.0,
         max_shard_attempts: int = 3,
         max_worker_failures: int = 3,
+        breaker_config: BreakerConfig | None = None,
+        lease_seconds: float = 15.0,
+        retire_grace: float | None = None,
+        probe_timeout: float = 2.0,
+        degrade: bool = True,
+        degrade_after: float = 5.0,
+        allow_empty: bool = False,
     ) -> None:
-        self.clients = [WorkerClient(url, timeout=timeout) for url in urls]
-        if not self.clients:
-            raise InvalidParameterError("a worker pool needs at least one worker URL")
         if max_shard_attempts < 1:
             raise InvalidParameterError(
                 f"max_shard_attempts must be >= 1, got {max_shard_attempts}"
@@ -204,19 +277,53 @@ class WorkerPool:
             raise InvalidParameterError(
                 f"max_worker_failures must be >= 1, got {max_worker_failures}"
             )
+        if degrade_after < 0:
+            raise InvalidParameterError(
+                f"degrade_after must be >= 0, got {degrade_after}"
+            )
+        self.shard_timeout = (
+            timeout if isinstance(timeout, ShardTimeout)
+            else ShardTimeout.fixed(timeout)
+        )
         self.max_shard_attempts = max_shard_attempts
         self.max_worker_failures = max_worker_failures
+        self.degrade = degrade
+        self.degrade_after = degrade_after
+        self.membership: WorkerMembership[WorkerClient] = WorkerMembership(
+            client_factory=self._make_client,
+            lease_seconds=lease_seconds,
+            retire_grace=retire_grace,
+            probe_timeout=probe_timeout,
+            breaker_config=(
+                breaker_config
+                or BreakerConfig(failure_threshold=max_worker_failures)
+            ),
+        )
+        urls = list(urls)
+        if not urls and not allow_empty:
+            raise InvalidParameterError(
+                "a worker pool needs at least one worker URL"
+            )
+        for url in urls:
+            self.membership.register(url, static=True)
+
+    def _make_client(self, url: str) -> WorkerClient:
+        return WorkerClient(url, timeout=self.shard_timeout)
 
     def __len__(self) -> int:
-        return len(self.clients)
+        return len(self.membership)
 
     @property
     def urls(self) -> list[str]:
-        return [client.base_url for client in self.clients]
+        return list(self.membership)
 
     def live_count(self, timeout: float = 2.0) -> int:
         """Workers currently answering ``GET /healthz``."""
-        return sum(1 for client in self.clients if client.healthy(timeout=timeout))
+        return self.membership.live_count(timeout=timeout)
+
+    def close(self) -> None:
+        """Stop the membership reaper thread, if one was started."""
+        self.membership.stop()
 
     def run(
         self, payloads: Iterable[ShardPayload], traceparent: str | None = None
@@ -229,7 +336,6 @@ class WorkerPool:
 DISPATCHED = "dispatched"
 SHARD_DONE = "done"
 SHARD_RETRY = "retry"
-WORKER_RETIRED = "retired"
 RUN_FAILED = "failed"
 
 
@@ -238,9 +344,13 @@ class ShardRun:
 
     The pending deque is sorted by payload cost, largest first, so the
     heaviest partitions start immediately and the small ones level the
-    tail.  Dispatch threads are daemons: ``close()`` stops new dispatch
-    but does not interrupt an in-flight RPC — its eventual outcome is
-    simply never consumed.
+    tail.  Dispatch threads are spawned per dispatchable worker by
+    :meth:`sync_workers` — called again on every coordinating-loop tick,
+    so workers that join mid-run (or whose breaker backoff elapses) pick
+    up pending shards immediately.  Threads are daemons: ``close()``
+    stops new dispatch but does not interrupt an in-flight RPC — its
+    eventual outcome is simply never consumed; :meth:`join` bounds the
+    wait for them at shutdown.
     """
 
     def __init__(
@@ -258,19 +368,11 @@ class ShardRun:
         )
         self._attempts: dict[int, int] = {}  # guarded-by: _wakeup
         self._remaining = len(payloads)  # guarded-by: _wakeup
-        self._live = len(pool.clients)  # guarded-by: _wakeup
+        self._in_flight = 0  # guarded-by: _wakeup
         self._aborted = False  # guarded-by: _wakeup
-        self._threads = [
-            threading.Thread(
-                target=self._dispatch,
-                args=(client,),
-                name=f"shard-dispatch-{index}",
-                daemon=True,
-            )
-            for index, client in enumerate(pool.clients)
-        ]
-        for thread in self._threads:
-            thread.start()
+        # coordinating-thread only: worker url -> its dispatch thread
+        self._threads: dict[str, threading.Thread] = {}
+        self.sync_workers()
 
     def close(self) -> None:
         """Stop dispatching new shards (idempotent)."""
@@ -278,55 +380,166 @@ class ShardRun:
             self._aborted = True
             self._wakeup.notify_all()
 
+    # -- coordinating-thread control ----------------------------------------
+
+    def sync_workers(self) -> int:
+        """Spawn dispatch threads for newly dispatchable workers.
+
+        Called from the coordinating thread on every poll tick.  A
+        worker gets (at most) one live thread; a worker that joined the
+        membership mid-run, or whose breaker left the open state, gets a
+        thread here and starts pulling from the pending queue.  Returns
+        the number of threads spawned.
+        """
+        with self._wakeup:
+            if self._aborted or self._remaining == 0:
+                return 0
+        spawned = 0
+        for record in self._pool.membership.dispatch_candidates():
+            thread = self._threads.get(record.url)
+            if thread is not None and thread.is_alive():
+                continue
+            thread = threading.Thread(
+                target=self._dispatch,
+                args=(record,),
+                name=f"shard-dispatch-{record.url}",
+                daemon=True,
+            )
+            self._threads[record.url] = thread
+            thread.start()
+            spawned += 1
+        return spawned
+
+    def stalled(self) -> bool:
+        """Pending shards with nothing able to move them.
+
+        True when work remains but no RPC is in flight and every
+        dispatch thread has exited (breakers open, workers retired).
+        The coordinating loop degrades to local mining when this holds
+        for ``degrade_after`` seconds.
+        """
+        alive = any(thread.is_alive() for thread in self._threads.values())
+        if alive:
+            return False
+        with self._wakeup:
+            return (
+                not self._aborted
+                and self._remaining > 0
+                and bool(self._pending)
+                and self._in_flight == 0
+            )
+
+    def take_local(self) -> ShardPayload | None:
+        """Pop one pending shard for the coordinator to mine itself.
+
+        Takes from the *cheap* end of the cost-sorted deque: if a worker
+        rejoins mid-degradation its thread keeps draining the expensive
+        end, and the slower local miner levels the tail.
+        """
+        with self._wakeup:
+            if self._aborted or not self._pending:
+                return None
+            return self._pending.pop()
+
+    def local_done(self, shard: ShardPayload) -> None:
+        """Account one locally mined shard (no notice: same thread)."""
+        with self._wakeup:
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._wakeup.notify_all()
+
+    def pending_count(self) -> int:
+        with self._wakeup:
+            return len(self._pending)
+
+    def join(self, timeout: float = 5.0) -> bool:
+        """Join all dispatch threads; True when every one has exited.
+
+        ``close()`` first, then join: woken waiters observe the abort
+        and exit; only a thread blocked in an in-flight RPC can keep the
+        grace period busy, and it is a daemon — False just means the
+        caller should not wait longer.
+        """
+        deadline = time.monotonic() + timeout
+        for thread in list(self._threads.values()):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            thread.join(timeout=remaining)
+        return not any(
+            thread.is_alive() for thread in self._threads.values()
+        )
+
     # -- dispatch threads ----------------------------------------------------
 
-    def _dispatch(self, client: WorkerClient) -> None:
-        failures = 0
+    def _dispatch(self, record: WorkerRecord[WorkerClient]) -> None:
+        membership = self._pool.membership
         while True:
-            shard = self._next_shard()
-            if shard is None:
+            if not self._await_work():
                 return
-            self.notices.put((DISPATCHED, shard.lam, client.name))
+            if not membership.dispatch_allowed(record):
+                return  # retired, or replaced by a rejoined generation
+            if not record.breaker.allow():
+                return  # open: sync_workers re-probes after the backoff
+            shard = self._take_shard()
+            if shard is None:
+                # lost the pop race (or the run just finished): hand a
+                # half-open probe slot back so the breaker cannot wedge
+                record.breaker.cancel_probe()
+                continue
+            self.notices.put((DISPATCHED, shard.lam, record.url))
             try:
-                patterns, report = client.mine_shard(
+                patterns, report = record.client.mine_shard(
                     shard, traceparent=self._traceparent
                 )
             except _ShardAttemptError as exc:
                 if not exc.retryable:
+                    self._abandon(shard)
                     self._abort(
                         f"shard {shard.lam} failed terminally on "
-                        f"{client.name}: {exc}"
+                        f"{record.url}: {exc}"
                     )
                     return
-                failures += 1
+                record.breaker.record_failure()
                 self._requeue(
-                    shard, client, str(exc),
+                    shard, record.url, str(exc),
                     count_attempt=not exc.worker_fault,
                 )
-                if failures >= self._pool.max_worker_failures:
-                    self._retire(client, str(exc))
-                    return
                 continue
-            failures = 0
-            self._complete(shard, client, patterns, report)
+            record.breaker.record_success()
+            self._complete(shard, record.url, patterns, report)
 
-    def _next_shard(self) -> ShardPayload | None:
+    def _await_work(self) -> bool:
+        """Park until a shard is (probably) available; False when done."""
         with self._wakeup:
             while True:
                 if self._aborted or self._remaining == 0:
-                    return None
+                    return False
                 if self._pending:
-                    return self._pending.popleft()
+                    return True
                 self._wakeup.wait(0.1)
+
+    def _take_shard(self) -> ShardPayload | None:
+        with self._wakeup:
+            if self._aborted or not self._pending:
+                return None
+            self._in_flight += 1
+            return self._pending.popleft()
+
+    def _abandon(self, shard: ShardPayload) -> None:
+        """Drop an in-flight shard that will never be requeued."""
+        with self._wakeup:
+            self._in_flight -= 1
 
     def _requeue(
         self,
         shard: ShardPayload,
-        client: WorkerClient,
+        worker: str,
         message: str,
         count_attempt: bool = True,
     ) -> None:
         with self._wakeup:
+            self._in_flight -= 1
             attempts = self._attempts.get(shard.lam, 0)
             if count_attempt:
                 attempts += 1
@@ -338,33 +551,24 @@ class ShardRun:
         if exhausted:
             self._abort(
                 f"shard {shard.lam} failed {attempts} times, "
-                f"last on {client.name}: {message}"
+                f"last on {worker}: {message}"
             )
         else:
-            self.notices.put((SHARD_RETRY, shard.lam, client.name, message))
-
-    def _retire(self, client: WorkerClient, message: str) -> None:
-        with self._wakeup:
-            self._live -= 1
-            stalled = self._live == 0 and self._remaining > 0
-        self.notices.put((WORKER_RETIRED, client.name, message))
-        if stalled:
-            self._abort(
-                f"no live workers remain ({client.name} retired last: {message})"
-            )
+            self.notices.put((SHARD_RETRY, shard.lam, worker, message))
 
     def _complete(
         self,
         shard: ShardPayload,
-        client: WorkerClient,
+        worker: str,
         patterns: dict[RawSequence, int],
         report: RunReport | None,
     ) -> None:
         with self._wakeup:
+            self._in_flight -= 1
             self._remaining -= 1
             if self._remaining == 0:
                 self._wakeup.notify_all()
-        self.notices.put((SHARD_DONE, shard.lam, client.name, patterns, report))
+        self.notices.put((SHARD_DONE, shard.lam, worker, patterns, report))
 
     def _abort(self, message: str) -> None:
         with self._wakeup:
@@ -416,6 +620,12 @@ def disc_all_cluster(
     partitions are skipped on resume, and the cancel token is polled
     between notices — so service journaling, crash recovery and partial
     results work unchanged with ``algorithm="disc-all-cluster"``.
+
+    When the pool stalls (no dispatchable workers, nothing in flight)
+    longer than ``pool.degrade_after``, remaining shards are mined
+    *locally* on this thread through the identical merge path — the
+    first-level partitions are self-contained, so the result is
+    byte-identical no matter who mines each one.
     """
     if delta < 1:
         raise ValueError(f"delta must be >= 1, got {delta}")
@@ -458,6 +668,7 @@ def disc_all_cluster(
     retried = obs.metrics.counter("cluster.shards_retried")
     failed = obs.metrics.counter("cluster.shards_failed")
     merged = obs.metrics.counter("cluster.shards_merged")
+    mined_locally = obs.metrics.counter("cluster.shards_mined_locally")
 
     # Shard RPCs propagate the job's trace as a child span context, so
     # every worker's spans and events share the submitting trace id.
@@ -466,54 +677,97 @@ def disc_all_cluster(
 
     run = pool.run(payloads, traceparent=traceparent)
     done = 0
+    degraded = False
+    stall_since: float | None = None
     try:
         with obs.tracer.span(
             "cluster.map", shards=len(payloads), workers=len(pool)
         ):
             while done < len(payloads):
                 token.checkpoint()
+                run.sync_workers()
                 try:
-                    notice = run.notices.get(timeout=0.25)
+                    # poll fast while stalled: local mining should not
+                    # pay the idle tick between every shard
+                    notice = run.notices.get(
+                        timeout=0.02 if stall_since is not None else 0.25
+                    )
                 except queue.Empty:
+                    notice = None
+                if notice is not None:
+                    kind = notice[0]
+                    if kind == DISPATCHED:
+                        _, lam, worker = notice
+                        dispatched.add(1)
+                        emit_event("shard.dispatched", lam=lam, worker=worker)
+                    elif kind == SHARD_RETRY:
+                        _, lam, worker, message = notice
+                        retried.add(1)
+                        emit_event(
+                            "shard.retried", level="warn",
+                            lam=lam, worker=worker, reason=message,
+                        )
+                    elif kind == SHARD_DONE:
+                        _, lam, worker = notice[:3]
+                        patterns = cast("dict[RawSequence, int]", notice[3])
+                        report = cast("RunReport | None", notice[4])
+                        fault_point("disc.partition")
+                        out.patterns.update(patterns)
+                        recorder.partition_done(cast(int, lam))
+                        done += 1
+                        merged.add(1)
+                        if report is not None:
+                            _absorb_worker_report(obs, report)
+                        emit_event(
+                            "shard.completed",
+                            lam=lam, worker=worker, patterns=len(patterns),
+                        )
+                    else:  # RUN_FAILED
+                        _, message = notice
+                        failed.add(1)
+                        emit_event("shard.failed", level="error", reason=message)
+                        raise ClusterError(str(message))
+                if not run.stalled():
+                    stall_since = None
                     continue
-                kind = notice[0]
-                if kind == DISPATCHED:
-                    _, lam, worker = notice
-                    dispatched.add(1)
-                    emit_event("shard.dispatched", lam=lam, worker=worker)
-                elif kind == SHARD_RETRY:
-                    _, lam, worker, message = notice
-                    retried.add(1)
-                    emit_event(
-                        "shard.retried", level="warn",
-                        lam=lam, worker=worker, reason=message,
+                now = time.monotonic()
+                if stall_since is None:
+                    stall_since = now
+                # degradation is sticky for the run: once local mining
+                # has started, a failed re-probe does not re-arm the grace
+                if not degraded and now - stall_since < pool.degrade_after:
+                    continue
+                if not pool.degrade:
+                    message = (
+                        "no live workers remain and degraded mining is "
+                        f"disabled ({run.pending_count()} shards pending)"
                     )
-                elif kind == WORKER_RETIRED:
-                    _, worker, message = notice
-                    emit_event(
-                        "worker.retired", level="warn",
-                        worker=worker, reason=message,
-                    )
-                elif kind == SHARD_DONE:
-                    _, lam, worker = notice[:3]
-                    patterns = cast("dict[RawSequence, int]", notice[3])
-                    report = cast("RunReport | None", notice[4])
-                    fault_point("disc.partition")
-                    out.patterns.update(patterns)
-                    recorder.partition_done(cast(int, lam))
-                    done += 1
-                    merged.add(1)
-                    if report is not None:
-                        _absorb_worker_report(obs, report)
-                    emit_event(
-                        "shard.completed",
-                        lam=lam, worker=worker, patterns=len(patterns),
-                    )
-                else:  # RUN_FAILED
-                    _, message = notice
                     failed.add(1)
                     emit_event("shard.failed", level="error", reason=message)
-                    raise ClusterError(str(message))
+                    raise ClusterError(message)
+                if not degraded:
+                    degraded = True
+                    emit_event(
+                        "cluster.degraded", level="warn",
+                        reason="no dispatchable workers",
+                        pending=run.pending_count(),
+                    )
+                shard = run.take_local()
+                if shard is None:
+                    continue
+                fault_point("disc.partition")
+                local_patterns = mine_shard_locally(shard)
+                out.patterns.update(local_patterns)
+                recorder.partition_done(shard.lam)
+                run.local_done(shard)
+                done += 1
+                merged.add(1)
+                mined_locally.add(1)
+                emit_event(
+                    "shard.completed",
+                    lam=shard.lam, worker="local",
+                    patterns=len(local_patterns),
+                )
     finally:
         run.close()
     return out

@@ -30,6 +30,8 @@ Named sites currently instrumented::
     disc.round       before one per-k DISC discovery round
     journal.fsync    before fsyncing an appended journal record
     worker.crash     at the start of each scheduler job attempt
+    worker.register  in the coordinator's membership register handler
+    worker.heartbeat in the coordinator's membership heartbeat handler
 """
 
 from __future__ import annotations

@@ -65,7 +65,14 @@ EVENT_VOCABULARY: Mapping[str, tuple[str, ...]] = {
     "shard.completed": ("lam", "worker", "patterns"),
     "shard.retried": ("lam", "worker"),
     "shard.failed": ("reason",),
+    "worker.joined": ("worker",),
+    "worker.suspected": ("worker",),
     "worker.retired": ("worker",),
+    "worker.left": ("worker",),
+    "breaker.opened": ("worker",),
+    "breaker.half_open": ("worker",),
+    "breaker.closed": ("worker",),
+    "cluster.degraded": ("reason",),
 }
 
 

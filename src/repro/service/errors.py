@@ -33,3 +33,11 @@ class UnknownDatabaseError(ServiceError, KeyError):
 
 class UnknownJobError(ServiceError, KeyError):
     """No job with the given id exists (or it was pruned from history)."""
+
+
+class UnknownWorkerError(ServiceError, KeyError):
+    """No membership lease exists for the given worker URL.
+
+    Answered 404 on the heartbeat endpoint; a worker receiving it must
+    re-register (its lease was reaped, or the coordinator restarted).
+    """

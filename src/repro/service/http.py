@@ -18,6 +18,10 @@ Endpoints::
     POST /mine                  submit {database, min_support, ...} -> job id
     GET  /jobs                  job summaries
     GET  /jobs/<id>[?top=N]     job status; patterns once done
+    POST /workers               register a worker {url} -> lease (coordinator)
+    POST /workers/heartbeat     renew a worker lease {url}
+    GET  /workers               membership table + state counts
+    DELETE /workers?url=<url>   graceful worker leave
 
 ``POST /mine`` participates in distributed tracing: an incoming
 ``traceparent`` header (W3C format) is parsed and its trace id adopted
@@ -27,8 +31,9 @@ trace id of the run that originally mined the result.
 
 Error responses are ``{"error": {"code": ..., "message": ...}}`` with
 the HTTP status carrying the class: 429 ``overloaded`` (backpressure),
-503 ``shutting_down``, 404 ``unknown_database`` / ``unknown_job``, 400
-for bad parameters or malformed databases.
+503 ``shutting_down``, 404 ``unknown_database`` / ``unknown_job`` /
+``unknown_worker`` (heartbeat without a lease → worker must
+re-register), 400 for bad parameters or malformed databases.
 """
 
 from __future__ import annotations
@@ -53,6 +58,7 @@ from repro.service.errors import (
     ServiceOverloadedError,
     UnknownDatabaseError,
     UnknownJobError,
+    UnknownWorkerError,
 )
 from repro.service.scheduler import DONE, Job
 from repro.service.service import MineOutcome, MineRequest, MiningService
@@ -63,6 +69,7 @@ _ERROR_STATUS: tuple[tuple[type[ReproError], int, str], ...] = (
     (ServiceClosedError, 503, "shutting_down"),
     (UnknownDatabaseError, 404, "unknown_database"),
     (UnknownJobError, 404, "unknown_job"),
+    (UnknownWorkerError, 404, "unknown_worker"),
     (UnknownAlgorithmError, 400, "unknown_algorithm"),
     (DataFormatError, 400, "bad_database"),
     (InvalidParameterError, 400, "bad_parameter"),
@@ -210,6 +217,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                         for job in self.service.scheduler.jobs()
                     ]
                 })
+            elif parts == ["workers"]:
+                self._send_json(200, self.service.workers_detail())
             elif len(parts) == 2 and parts[0] == "jobs":
                 top = _query_int(parse_qs(split.query), "top")
                 job = self.service.job(parts[1])
@@ -229,15 +238,33 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._post_mine()
             elif parts == ["databases"]:
                 self._post_database()
+            elif parts == ["workers"]:
+                self._send_json(
+                    200, self.service.register_worker(self._worker_url())
+                )
+            elif parts == ["workers", "heartbeat"]:
+                self._send_json(
+                    200, self.service.heartbeat_worker(self._worker_url())
+                )
             else:
                 self._send_json(404, _NOT_FOUND)
         except ReproError as exc:
             self._send_error(exc)
 
     def do_DELETE(self) -> None:  # noqa: N802 (http.server naming)
-        parts = [part for part in urlsplit(self.path).path.split("/") if part]
+        split = urlsplit(self.path)
+        parts = [part for part in split.path.split("/") if part]
         try:
-            if len(parts) == 2 and parts[0] == "databases":
+            if parts == ["workers"]:
+                values = parse_qs(split.query).get("url")
+                if not values or not values[-1]:
+                    raise InvalidParameterError(
+                        "query parameter 'url' must name the worker to remove"
+                    )
+                self._send_json(
+                    200, self.service.deregister_worker(values[-1])
+                )
+            elif len(parts) == 2 and parts[0] == "databases":
                 entry = self.service.registry.evict(parts[1])
                 dropped = self.service.cache.invalidate_digest(entry.digest)
                 self._send_json(200, {
@@ -335,6 +362,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             headers = {"traceparent": job.trace.to_traceparent()}
         self._send_json(status, body, headers=headers)
 
+    def _worker_url(self) -> str:
+        """The worker base URL carried by a membership POST body."""
+        payload = self._read_json()
+        url = payload.get("url")
+        if not isinstance(url, str) or not url:
+            raise InvalidParameterError(
+                "'url' must be the worker's base URL (http(s)://host:port)"
+            )
+        return url
+
     def _post_database(self) -> None:
         payload = self._read_json()
         name = payload.get("name")
@@ -367,6 +404,10 @@ _INDEX: dict[str, object] = {
         "POST /mine",
         "GET /jobs",
         "GET /jobs/<id>",
+        "POST /workers",
+        "POST /workers/heartbeat",
+        "GET /workers",
+        "DELETE /workers?url=<url>",
     ],
 }
 

@@ -49,7 +49,7 @@ from repro.obs import MetricsRegistry, RunReport
 from repro.obs.events import emit as emit_event
 from repro.obs.trace_context import TraceContext
 from repro.service.cache import CacheKey, FrozenOptions, ResultCache, freeze_options
-from repro.service.errors import UnknownDatabaseError
+from repro.service.errors import UnknownDatabaseError, UnknownWorkerError
 from repro.service.journal import (
     JobJournal,
     JournalEntry,
@@ -67,7 +67,8 @@ from repro.service.scheduler import (
 )
 
 if TYPE_CHECKING:
-    from repro.cluster.coordinator import WorkerPool
+    from repro.cluster.coordinator import WorkerClient, WorkerPool
+    from repro.cluster.membership import WorkerMembership
     from repro.service.supervise import RetryPolicy
 
 
@@ -124,6 +125,11 @@ class MiningService:
         #: submissions to *default_algorithm* (``disc-all-cluster``)
         self.role = role
         self.worker_pool = worker_pool
+        if worker_pool is not None:
+            # breaker/membership gauges land in the service registry, and
+            # the reaper sweeps leases for as long as the service lives
+            worker_pool.membership.metrics = self.metrics
+            worker_pool.membership.start()
         self.default_algorithm = default_algorithm
         self._workers = workers
         self._merge_lock = threading.Lock()
@@ -434,6 +440,53 @@ class MiningService:
             reason=reason,
         )
 
+    # -- cluster membership --------------------------------------------------
+
+    def _membership(self) -> "WorkerMembership[WorkerClient]":
+        pool = self.worker_pool
+        if pool is None:
+            raise InvalidParameterError(
+                f"this {self.role} server has no worker pool; "
+                "start it with --role coordinator to accept workers"
+            )
+        return pool.membership
+
+    def register_worker(self, url: str) -> dict[str, object]:
+        """Admit (or revive/renew) a worker lease (``POST /workers``)."""
+        return self._membership().register(url)
+
+    def heartbeat_worker(self, url: str) -> dict[str, object]:
+        """Renew a worker's lease (``POST /workers/heartbeat``).
+
+        Raises :class:`UnknownWorkerError` (→ 404) when no live lease
+        exists — the signal for the worker to re-register.
+        """
+        membership = self._membership()
+        if not membership.heartbeat(url):
+            raise UnknownWorkerError(
+                f"no lease for worker {url!r}; register it first"
+            )
+        return {
+            "worker": url,
+            "renewed": True,
+            "lease_seconds": membership.lease_seconds,
+        }
+
+    def deregister_worker(self, url: str) -> dict[str, object]:
+        """Gracefully retire a worker (``DELETE /workers?url=...``)."""
+        if not self._membership().deregister(url):
+            raise UnknownWorkerError(f"no lease for worker {url!r}")
+        return {"worker": url, "left": True}
+
+    def workers_detail(self) -> dict[str, object]:
+        """Membership table + state counts (``GET /workers``)."""
+        membership = self._membership()
+        return {
+            "workers": membership.describe(),
+            "counts": membership.counts(),
+            "lease_seconds": membership.lease_seconds,
+        }
+
     # -- introspection -------------------------------------------------------
 
     def retry_after_hint(self) -> int:
@@ -469,13 +522,20 @@ class MiningService:
         }
         pool = self.worker_pool
         if pool is not None:
-            connected = len(pool)
+            membership = pool.membership
+            counts = membership.counts()
+            # "connected" keeps its pre-membership meaning: workers the
+            # coordinator would still consider (anything not retired)
+            connected = counts["live"] + counts["suspect"]
             live = pool.live_count()
             with self._merge_lock:
                 self.metrics.gauge("cluster.workers_connected").set(connected)
                 self.metrics.gauge("cluster.workers_live").set(live)
             doc["workers_connected"] = connected
             doc["workers_live"] = live
+            doc["worker_states"] = counts
+            doc["workers"] = membership.describe()
+            doc["dispatch_threads"] = _dispatch_thread_count()
         return doc
 
     def metrics_snapshot(self) -> dict[str, dict[str, object]]:
@@ -488,6 +548,8 @@ class MiningService:
     def close(self, drain: bool = True, timeout: float | None = None) -> None:
         """Shut down, draining in-flight jobs unless told otherwise."""
         self.scheduler.close(drain=drain, timeout=timeout)
+        if self.worker_pool is not None:
+            self.worker_pool.close()
         if self.journal is not None:
             self.journal.close()
 
@@ -679,6 +741,18 @@ class MiningService:
             labels = entry.get("labels")
             label_map = labels if isinstance(labels, dict) else {}
             self.metrics.counter(name, **label_map).add(value)
+
+
+def _dispatch_thread_count() -> int:
+    """Live shard-dispatch threads in this process.
+
+    Exposed on ``/healthz`` so the soak harness can assert none are
+    orphaned once every job has finished.
+    """
+    return sum(
+        1 for thread in threading.enumerate()
+        if thread.name.startswith("shard-dispatch-")
+    )
 
 
 def _continued_trace(

@@ -1,0 +1,28 @@
+"""CONC001 fixture (cluster scope): a lease table with a leaky read."""
+
+import threading
+
+
+class LeaseTable:
+    """Membership-style worker records guarded by one table lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._records = {}  # guarded-by: _lock
+        self._generations = 0  # guarded-by: _lock
+
+    def register(self, url):
+        with self._lock:
+            self._generations += 1
+            self._records[url] = self._generations
+
+    def drop(self, url):
+        with self._lock:
+            self._records.pop(url, None)
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._records)
+
+    def generation(self, url):
+        return self._records.get(url)

@@ -54,6 +54,14 @@ class TestConc001:
         lines = [line for _, line in findings_of("conc001", "CONC001")]
         assert lines == [27, 33]
 
+    def test_cluster_scope_is_gated_too(self):
+        # membership-style lease tables under cluster/ are in scope:
+        # LeaseTable.generation reads _records without the table lock,
+        # while the locked register/drop/snapshot paths stay silent.
+        assert findings_of("conc001_cluster", "CONC001") == [
+            ("CONC001", 28),
+        ]
+
 
 class TestConc002:
     def test_opposite_order_cycle(self):

@@ -265,9 +265,25 @@ class TestClusterCli:
         ]) == 2
         assert ">= 1" in capsys.readouterr().err
 
-    def test_coordinator_requires_worker_urls(self, capsys):
-        assert main(["serve", "--role", "coordinator"]) == 2
-        assert "--worker" in capsys.readouterr().err
+    def test_coordinator_flag_requires_worker_role(self, capsys):
+        assert main([
+            "serve", "--role", "coordinator",
+            "--coordinator", "http://127.0.0.1:1",
+        ]) == 2
+        assert "--role worker" in capsys.readouterr().err
+
+    def test_advertise_requires_coordinator_flag(self, capsys):
+        assert main([
+            "serve", "--role", "worker",
+            "--advertise", "http://127.0.0.1:1",
+        ]) == 2
+        assert "--coordinator" in capsys.readouterr().err
+
+    def test_heartbeat_requires_coordinator_flag(self, capsys):
+        assert main([
+            "serve", "--role", "worker", "--heartbeat-seconds", "2",
+        ]) == 2
+        assert "--coordinator" in capsys.readouterr().err
 
     def test_worker_role_rejects_worker_urls(self, capsys):
         assert main([

@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import io
 import json
+import queue
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -115,8 +117,21 @@ class TestFailurePolicy:
         assert report.counter_value("cluster.shards_retried") >= 1
         assert report.counter_value("cluster.shards_merged") == 7
 
-    def test_all_workers_dead_aborts(self, table6_members):
-        pool = WorkerPool([DEAD_URL], max_worker_failures=2)
+    def test_all_workers_dead_degrades_to_local(self, table6_members):
+        pool = WorkerPool([DEAD_URL], max_worker_failures=2, degrade_after=0.0)
+        with activated(observation(trace=False)) as obs:
+            out = disc_all_cluster(table6_members, 3, pool)
+            report = obs.report()
+        # byte-identical completion via the local fallback, not an abort
+        assert out.patterns == disc_all(table6_members, 3).patterns
+        assert report.counter_value("cluster.shards_mined_locally") == 7
+        assert report.counter_value("cluster.shards_merged") == 7
+
+    def test_degradation_disabled_aborts(self, table6_members):
+        pool = WorkerPool(
+            [DEAD_URL], max_worker_failures=2,
+            degrade=False, degrade_after=0.0,
+        )
         with pytest.raises(ClusterError, match="no live workers remain"):
             disc_all_cluster(table6_members, 3, pool)
 
@@ -303,3 +318,59 @@ class TestServiceIntegration:
         }
         assert report is not None
         assert report.counter_value("worker.shards_mined") == 1
+
+
+class TestSelfHealing:
+    def test_worker_joining_mid_job_receives_shards(self, workers, table6_members):
+        """A worker registering mid-run drains the queue with no restart."""
+        pool = WorkerPool(allow_empty=True, degrade_after=60.0)
+
+        def late_join():
+            time.sleep(0.3)
+            pool.membership.register(workers[0])
+
+        joiner = threading.Thread(target=late_join, daemon=True)
+        joiner.start()
+        with activated(observation(trace=False)) as obs:
+            out = disc_all_cluster(table6_members, 3, pool)
+            report = obs.report()
+        joiner.join()
+        assert out.patterns == disc_all(table6_members, 3).patterns
+        assert report.counter_value("cluster.shards_merged") == 7
+        # everything went through the late worker, nothing local
+        assert report.counter_value("cluster.shards_mined_locally") == 0
+
+    def test_shutdown_with_inflight_job_joins_and_drains(
+        self, workers, table6_members, monkeypatch
+    ):
+        """close() mid-run: threads join in bounded grace, queue drains."""
+        from tests.test_cluster_payload import payload_for
+
+        real = WorkerClient.mine_shard
+
+        def slow_mine(self, payload, traceparent=None):
+            time.sleep(0.3)
+            return real(self, payload, traceparent)
+
+        monkeypatch.setattr(WorkerClient, "mine_shard", slow_mine)
+        pool = WorkerPool(workers)
+        payloads = [payload_for(table6_members, 3, lam) for lam in (1, 2, 3, 4)]
+        run = pool.run(payloads)
+        kind = run.notices.get(timeout=10.0)[0]
+        assert kind == "dispatched"
+        run.close()
+        assert run.join(timeout=10.0)
+        assert not [
+            t for t in threading.enumerate()
+            if t.name.startswith("shard-dispatch-") and t.is_alive()
+        ]
+        # the queue drains without blocking; at most the in-flight
+        # shards report back, nothing new is dispatched after close()
+        drained = []
+        while True:
+            try:
+                drained.append(run.notices.get_nowait())
+            except queue.Empty:
+                break
+        assert all(notice[0] in ("dispatched", "done") for notice in drained)
+        assert run.pending_count() >= len(payloads) - len(workers) - 1

@@ -453,3 +453,84 @@ class TestAcceptance:
             thread.join(timeout=10.0)
             service.close(drain=False, timeout=10.0)
             del algorithm_registry._REGISTRY["gated-disc-all"]
+
+
+class TestWorkerMembershipEndpoints:
+    """The coordinator's dynamic-registration HTTP protocol."""
+
+    WORKER_URL = "http://127.0.0.1:9"  # registration does not probe
+
+    @pytest.fixture
+    def coordinator(self):
+        from repro.cluster.coordinator import WorkerPool
+
+        pool = WorkerPool(allow_empty=True, probe_timeout=0.5)
+        service = MiningService(
+            workers=1, role="coordinator", worker_pool=pool
+        )
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            yield f"http://{host}:{port}"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10.0)
+            service.close(drain=False, timeout=10.0)
+
+    def test_register_heartbeat_deregister_round_trip(self, coordinator):
+        status, body = http(
+            "POST", coordinator + "/workers", {"url": self.WORKER_URL}
+        )
+        assert status == 200, body
+        assert body["worker"] == self.WORKER_URL
+        assert body["joined"] is True and body["lease_seconds"] > 0
+
+        status, body = http(
+            "POST", coordinator + "/workers/heartbeat", {"url": self.WORKER_URL}
+        )
+        assert status == 200 and body["renewed"] is True
+
+        status, body = http("GET", coordinator + "/workers")
+        assert status == 200
+        assert body["counts"] == {"live": 1, "suspect": 0, "retired": 0}
+        (row,) = body["workers"]
+        assert row["url"] == self.WORKER_URL and row["state"] == "live"
+        assert row["breaker"]["state"] == "closed"
+
+        quoted = urllib.parse.quote(self.WORKER_URL, safe="")
+        status, body = http("DELETE", f"{coordinator}/workers?url={quoted}")
+        assert status == 200 and body["left"] is True
+        status, body = http("GET", coordinator + "/workers")
+        assert body["counts"]["retired"] == 1
+
+    def test_heartbeat_without_lease_is_404(self, coordinator):
+        status, body = http(
+            "POST", coordinator + "/workers/heartbeat", {"url": self.WORKER_URL}
+        )
+        assert status == 404
+        assert body["error"]["code"] == "unknown_worker"
+
+    def test_register_requires_a_url(self, coordinator):
+        status, body = http("POST", coordinator + "/workers", {})
+        assert status == 400
+        assert body["error"]["code"] == "bad_parameter"
+        status, body = http("DELETE", coordinator + "/workers")
+        assert status == 400
+        assert body["error"]["code"] == "bad_parameter"
+
+    def test_standalone_server_has_no_worker_table(self, served):
+        base, _ = served
+        status, body = http("POST", base + "/workers", {"url": self.WORKER_URL})
+        assert status == 400
+        assert "no worker pool" in body["error"]["message"]
+
+    def test_healthz_reports_membership_detail(self, coordinator):
+        http("POST", coordinator + "/workers", {"url": self.WORKER_URL})
+        status, body = http("GET", coordinator + "/healthz")
+        assert status == 200
+        assert body["worker_states"] == {"live": 1, "suspect": 0, "retired": 0}
+        assert body["workers"][0]["url"] == self.WORKER_URL
+        assert body["dispatch_threads"] == 0

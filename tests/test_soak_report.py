@@ -1,0 +1,165 @@
+"""Unit tests for the chaos-soak report schema and grading."""
+
+from __future__ import annotations
+
+from repro.bench.soak_report import (
+    DEGRADED,
+    FAIL,
+    PASS,
+    SOAK_FORMAT,
+    SOAK_VERSION,
+    build_report,
+    classify_outcome,
+    recovery_latencies,
+    render_report,
+    transition_log,
+)
+
+OK_INVARIANTS = {
+    "every_accepted_job_finished": True,
+    "results_byte_identical": True,
+    "event_log_validates": True,
+    "no_orphaned_dispatch_threads": True,
+}
+
+
+def event(name: str, ts: float, worker: str = "http://w:1", **fields):
+    return {"event": name, "ts": ts, "worker": worker, **fields}
+
+
+class TestClassification:
+    def test_clean_done_job_passes(self):
+        grade, _ = classify_outcome(
+            {"kind": "mine", "status": "done", "matched": True}
+        )
+        assert grade == PASS
+
+    def test_mismatched_result_fails(self):
+        grade, reason = classify_outcome(
+            {"kind": "mine", "status": "done", "matched": False}
+        )
+        assert grade == FAIL and "reference" in reason
+
+    def test_lost_job_fails(self):
+        grade, reason = classify_outcome(
+            {"kind": "mine", "status": "timeout", "error": "stuck"}
+        )
+        assert grade == FAIL and "stuck" in reason
+
+    def test_missed_cache_hit_degrades(self):
+        grade, _ = classify_outcome(
+            {"kind": "cache", "status": "done", "cached": False, "matched": True}
+        )
+        assert grade == DEGRADED
+
+    def test_served_cache_hit_passes(self):
+        grade, _ = classify_outcome(
+            {"kind": "cache", "status": "done", "cached": True}
+        )
+        assert grade == PASS
+
+    def test_retried_completion_degrades(self):
+        grade, _ = classify_outcome(
+            {"kind": "mine", "status": "done", "degraded": True}
+        )
+        assert grade == DEGRADED
+
+    def test_overload_probe_rejected_or_served_passes(self):
+        assert classify_outcome({"kind": "reject", "status": "rejected"})[0] == PASS
+        assert classify_outcome({"kind": "reject", "status": "done"})[0] == PASS
+        assert classify_outcome({"kind": "reject", "status": "failed"})[0] == FAIL
+
+
+class TestVerdict:
+    def test_all_pass(self):
+        report = build_report(
+            [{"kind": "mine", "status": "done", "matched": True}],
+            OK_INVARIANTS,
+        )
+        assert report["format"] == SOAK_FORMAT
+        assert report["version"] == SOAK_VERSION
+        assert report["verdict"] == PASS
+        assert report["counts"] == {PASS: 1, DEGRADED: 0, FAIL: 0}
+
+    def test_degraded_lines_degrade_the_verdict(self):
+        report = build_report(
+            [
+                {"kind": "mine", "status": "done"},
+                {"kind": "cache", "status": "done", "cached": False},
+            ],
+            OK_INVARIANTS,
+        )
+        assert report["verdict"] == DEGRADED
+        assert report["counts"][DEGRADED] == 1
+
+    def test_any_fail_line_fails(self):
+        report = build_report(
+            [{"kind": "mine", "status": "failed", "error": "boom"}],
+            OK_INVARIANTS,
+        )
+        assert report["verdict"] == FAIL
+
+    def test_broken_invariant_fails_even_when_lines_pass(self):
+        invariants = dict(OK_INVARIANTS, no_orphaned_dispatch_threads=False)
+        report = build_report(
+            [{"kind": "mine", "status": "done", "matched": True}],
+            invariants,
+        )
+        assert report["verdict"] == FAIL
+        assert report["broken_invariants"] == ["no_orphaned_dispatch_threads"]
+
+
+class TestEventDerivations:
+    def test_transition_log_keeps_lifecycle_events_in_order(self):
+        events = [
+            event("worker.joined", 1.0),
+            event("shard.completed", 2.0, lam=3),
+            event("breaker.opened", 3.0, previous="closed"),
+            event("worker.retired", 4.0),
+        ]
+        log = transition_log(events)
+        assert [entry["event"] for entry in log] == [
+            "worker.joined", "breaker.opened", "worker.retired",
+        ]
+        assert log[1]["previous"] == "closed"
+
+    def test_recovery_latency_measures_rejoin_then_mining(self):
+        url = "http://w:1"
+        events = [
+            event("worker.joined", 10.0, url),
+            event("shard.completed", 11.0, url),  # before the kill: ignored
+            event("worker.joined", 20.0, url),    # the rejoin
+            event("shard.completed", 21.5, url),  # mining again
+        ]
+        (entry,) = recovery_latencies([{"worker": url, "ts": 15.0}], events)
+        assert entry["rejoin_seconds"] == 5.0
+        assert entry["first_shard_after_rejoin_seconds"] == 1.5
+
+    def test_recovery_without_rejoin_reports_none(self):
+        (entry,) = recovery_latencies(
+            [{"worker": "http://w:1", "ts": 15.0}], []
+        )
+        assert entry["rejoin_seconds"] is None
+        assert entry["first_shard_after_rejoin_seconds"] is None
+
+
+class TestRendering:
+    def test_render_names_failures_and_recovery(self):
+        report = build_report(
+            [
+                {"kind": "mine", "status": "done", "matched": True},
+                {"kind": "mine", "job_id": "j-2", "status": "failed",
+                 "error": "boom"},
+            ],
+            dict(OK_INVARIANTS, event_log_validates=False),
+            events=[
+                event("worker.joined", 20.0),
+                event("shard.completed", 21.0),
+            ],
+            kills=[{"worker": "http://w:1", "ts": 15.0}],
+        )
+        text = render_report(report)
+        assert "soak verdict: fail" in text
+        assert "INVARIANT BROKEN: event_log_validates" in text
+        assert "fail: j-2" in text
+        assert "recovery http://w:1" in text
