@@ -25,10 +25,17 @@ from repro.analysis.callgraph import build_call_graph
 from repro.analysis import conc as _conc  # noqa: F401  (side-effect import)
 from repro.analysis import flow as _flow  # noqa: F401  (side-effect import)
 from repro.analysis import hot as _hot  # noqa: F401  (side-effect import)
+from repro.analysis import statemachine as _statemachine  # noqa: F401  (side-effect import)
+from repro.analysis import wire as _wire  # noqa: F401  (side-effect import)
 from repro.analysis.findings import PARSE_ERROR_ID, Finding
 from repro.analysis.project import ProjectModel, load_project
 from repro.analysis.reporting import render_json, render_sarif, render_text
-from repro.analysis.visitor import ProjectRule, project_rule_catalog
+from repro.analysis.visitor import (
+    ProjectRule,
+    expand_rule_selection,
+    project_rule_catalog,
+    render_rule_summaries,
+)
 
 
 def _resolve_project_rules(
@@ -37,13 +44,10 @@ def _resolve_project_rules(
     catalog = project_rule_catalog()
     if rule_ids is None:
         return list(catalog.values())
-    selected: list[Type[ProjectRule]] = []
-    for rule_id in rule_ids:
-        if rule_id not in catalog:
-            known = ", ".join(catalog)
-            raise ValueError(f"unknown rule id {rule_id!r}; known: {known}")
-        selected.append(catalog[rule_id])
-    return selected
+    return [
+        catalog[rule_id]
+        for rule_id in expand_rule_selection(rule_ids, catalog)
+    ]
 
 
 def check_project(
@@ -73,16 +77,8 @@ def check_paths(
 
 
 def list_project_rules() -> str:
-    """Human-readable catalog of the whole-program rules."""
-    blocks = []
-    for rule_id, rule_class in project_rule_catalog().items():
-        scopes = ", ".join(rule_class.scopes) if rule_class.scopes else "all modules"
-        blocks.append(
-            f"{rule_id}: {rule_class.title}\n"
-            f"  scope: {scopes}\n"
-            f"  {rule_class.rationale}"
-        )
-    return "\n".join(blocks)
+    """The unified rule catalog (shared with ``repro lint --list-rules``)."""
+    return render_rule_summaries()
 
 
 def run_check(

@@ -1,0 +1,185 @@
+"""Shared AST helpers for the declared-contract rule families (system S24).
+
+The WIRE and STATE rules check both sides of the wire contracts declared
+in :mod:`repro.contracts` — events, JSON schemas, the error taxonomy,
+metric names and state machines — against the code that produces and
+consumes them.  This module holds the helpers they share: constant
+resolution against module-level string tables, locating anchor functions
+and module constants, and recognising ``emit(...)`` call sites through
+import aliases.
+
+The manifest itself is imported live (``repro.contracts``) rather than
+parsed out of the analysed project: the checker always runs with the
+real package importable, and fixture projects under ``tests/fixtures/``
+are then judged against the same single source of truth as ``src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import CallGraph, dotted_name
+from repro.analysis.project import FunctionInfo, ModuleInfo, ProjectModel
+
+#: resolved qnames of the event-emit entry points (module-level function
+#: and its package re-export); sites reach these through import aliases
+EMIT_QNAMES = frozenset({
+    "repro.obs.events.emit",
+    "repro.obs.emit",
+})
+
+#: the breaker-state -> event-name table in the manifest; a subscript of
+#: it as an emit name means "one of the table's values"
+BREAKER_EVENT_TABLE = "repro.contracts.BREAKER_EVENT_BY_STATE"
+
+
+def constant_str(node: ast.AST | None) -> str | None:
+    """The value of a string-literal expression, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _module_assignments(module: ModuleInfo) -> Iterator[tuple[ast.expr, ast.expr]]:
+    """(target, value) for every module-level assignment statement."""
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                yield target, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            yield stmt.target, stmt.value
+
+
+def module_str_constants(module: ModuleInfo) -> dict[str, str]:
+    """Module-level ``NAME = "literal"`` assignments by name."""
+    table: dict[str, str] = {}
+    for target, value in _module_assignments(module):
+        text = constant_str(value)
+        if text is not None and isinstance(target, ast.Name):
+            table[target.id] = text
+    return table
+
+
+def module_str_dicts(module: ModuleInfo) -> dict[str, dict[str, str]]:
+    """Module-level ``NAME = {"k": "v", ...}`` string-to-string dicts."""
+    table: dict[str, dict[str, str]] = {}
+    for target, value in _module_assignments(module):
+        if not isinstance(target, ast.Name) or not isinstance(value, ast.Dict):
+            continue
+        entries: dict[str, str] = {}
+        for key, item in zip(value.keys, value.values):
+            key_text = constant_str(key)
+            item_text = constant_str(item)
+            if key_text is None or item_text is None:
+                break
+            entries[key_text] = item_text
+        else:
+            if entries:
+                table[target.id] = entries
+    return table
+
+
+def module_assign_value(module: ModuleInfo, name: str) -> ast.expr | None:
+    """RHS of the module-level assignment to *name*, if any."""
+    for target, value in _module_assignments(module):
+        if isinstance(target, ast.Name) and target.id == name:
+            return value
+    return None
+
+
+def resolve_str(node: ast.AST | None, constants: dict[str, str]) -> str | None:
+    """A string expression: literal, or a module-level string constant."""
+    text = constant_str(node)
+    if text is not None:
+        return text
+    if isinstance(node, ast.Name):
+        return constants.get(node.id)
+    return None
+
+
+def functions_in_module(
+    project: ProjectModel, module: ModuleInfo
+) -> list[FunctionInfo]:
+    """Every function/method defined in *module* (nested defs included)."""
+    return [fn for fn in project.functions.values() if fn.module is module]
+
+
+def functions_named(
+    project: ProjectModel, module: ModuleInfo, name: str
+) -> list[FunctionInfo]:
+    """Functions/methods in *module* with the simple name *name*."""
+    return [fn for fn in functions_in_module(project, module) if fn.name == name]
+
+
+def emit_call_sites(
+    graph: CallGraph, module: ModuleInfo
+) -> list[ast.Call]:
+    """Every ``emit(...)`` call in *module*, found through import aliases."""
+    sites: list[ast.Call] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            continue
+        resolved = graph.resolver.resolve_dotted_in_module(module, dotted)
+        if resolved in EMIT_QNAMES:
+            sites.append(node)
+    return sites
+
+
+def emit_name_candidates(
+    call: ast.Call, module: ModuleInfo, graph: CallGraph
+) -> tuple[str, ...] | None:
+    """Possible event names at one emit site, or ``None`` when dynamic.
+
+    A constant string is a single candidate.  A subscript of the
+    manifest's breaker table (or of a module-level string-to-string dict
+    constant) yields the table's values.  Anything else is dynamic and
+    out of static reach.
+    """
+    if not call.args:
+        return None
+    name_expr = call.args[0]
+    text = constant_str(name_expr)
+    if text is not None:
+        return (text,)
+    if isinstance(name_expr, ast.Subscript):
+        base = dotted_name(name_expr.value)
+        if base is not None:
+            if _is_breaker_table(name_expr.value, module, graph):
+                from repro.contracts import BREAKER_EVENT_BY_STATE
+
+                return tuple(sorted(BREAKER_EVENT_BY_STATE.values()))
+            if isinstance(name_expr.value, ast.Name):
+                local = module_str_dicts(module).get(name_expr.value.id)
+                if local:
+                    return tuple(sorted(local.values()))
+    return None
+
+
+def _is_breaker_table(
+    expr: ast.expr, module: ModuleInfo, graph: CallGraph
+) -> bool:
+    """Whether *expr* denotes the manifest's breaker-event table.
+
+    Either directly (``contracts.BREAKER_EVENT_BY_STATE``) or through a
+    module-level alias (``_BREAKER_EVENTS = contracts.BREAKER_EVENT_BY_STATE``).
+    """
+    dotted = dotted_name(expr)
+    if dotted is None:
+        return False
+    resolved = graph.resolver.resolve_dotted_in_module(module, dotted)
+    if resolved == BREAKER_EVENT_TABLE:
+        return True
+    if isinstance(expr, ast.Name):
+        value = module_assign_value(module, expr.id)
+        if value is not None:
+            alias = dotted_name(value)
+            if alias is not None:
+                return (
+                    graph.resolver.resolve_dotted_in_module(module, alias)
+                    == BREAKER_EVENT_TABLE
+                )
+    return False

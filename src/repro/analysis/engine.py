@@ -32,9 +32,12 @@ from repro.analysis import rules as _rules  # noqa: F401  (side-effect import)
 from repro.analysis import conc as _conc  # noqa: F401  (side-effect import)
 from repro.analysis import flow as _flow  # noqa: F401  (side-effect import)
 from repro.analysis import hot as _hot  # noqa: F401  (side-effect import)
+from repro.analysis import statemachine as _statemachine  # noqa: F401  (side-effect import)
+from repro.analysis import wire as _wire  # noqa: F401  (side-effect import)
 from repro.analysis.visitor import (
     LintContext,
     Rule,
+    expand_rule_selection,
     rule_catalog,
     walk_module,
 )
@@ -52,13 +55,9 @@ def _resolve_rules(rule_ids: Sequence[str] | None) -> list[Type[Rule]]:
     catalog = rule_catalog()
     if rule_ids is None:
         return list(catalog.values())
-    selected: list[Type[Rule]] = []
-    for rule_id in rule_ids:
-        if rule_id not in catalog:
-            known = ", ".join(catalog)
-            raise ValueError(f"unknown rule id {rule_id!r}; known: {known}")
-        selected.append(catalog[rule_id])
-    return selected
+    return [
+        catalog[rule_id] for rule_id in expand_rule_selection(rule_ids, catalog)
+    ]
 
 
 def lint_source(

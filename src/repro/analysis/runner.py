@@ -11,20 +11,12 @@ from typing import Sequence
 from repro.analysis.engine import lint_paths
 from repro.analysis.findings import PARSE_ERROR_ID
 from repro.analysis.reporting import render_json, render_sarif, render_text
-from repro.analysis.visitor import rule_catalog
+from repro.analysis.visitor import render_rule_summaries
 
 
 def list_rules() -> str:
-    """Human-readable catalog of the registered rules."""
-    blocks = []
-    for rule_id, rule_class in rule_catalog().items():
-        scopes = ", ".join(rule_class.scopes) if rule_class.scopes else "all modules"
-        blocks.append(
-            f"{rule_id}: {rule_class.title}\n"
-            f"  scope: {scopes}\n"
-            f"  {rule_class.rationale}"
-        )
-    return "\n".join(blocks)
+    """The unified rule catalog (shared with ``repro check --list-rules``)."""
+    return render_rule_summaries()
 
 
 def run_lint(

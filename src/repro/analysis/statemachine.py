@@ -1,0 +1,234 @@
+"""STATE001: state-field writes form only declared transitions.
+
+The breaker, membership and job lifecycles are declared as transition
+tables in :mod:`repro.contracts`.  For each machine this rule scans the
+module that owns it for attribute assignments to the state field
+(``self._state = OPEN``, ``record.state = LIVE``) and checks that every
+assignment is a declared edge from every state the object might be in
+at that point.
+
+Possible source states are tracked with a small abstract interpreter
+over statement blocks: the set starts at "any state", is narrowed by
+``==``/``!=`` comparisons against the state field in ``if`` tests
+(including ``and``/``or``/``not`` combinations), and branches that end
+in ``return``/``raise``/``continue``/``break`` drop out of the
+fall-through set — exactly the guard idiom the cluster code uses
+(``if record.state == RETIRED: return`` and the reaper's
+``if record.state != SUSPECT: continue``).  Loops and ``try`` blocks
+reset conservatively to "any state"; a dynamic right-hand side (the
+scheduler's ``job.state = state`` chokepoint) is out of static reach
+and widens back to "any state".
+
+``__init__``/``__post_init__`` are special: a state write there is the
+object's birth, so it must be the machine's declared initial state.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro import contracts
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.contracts_rules import (
+    functions_in_module,
+    module_str_constants,
+    resolve_str,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, ProjectModel
+from repro.analysis.visitor import ProjectRule, register_project
+
+#: functions whose state writes are construction, not transition
+INIT_FUNCTIONS = ("__init__", "__post_init__")
+
+#: statements that terminate a block's fall-through
+_TERMINATORS = (ast.Return, ast.Raise, ast.Continue, ast.Break)
+
+
+class _Scanner:
+    """Scan one function body for illegal transitions of one machine."""
+
+    def __init__(
+        self,
+        rule_id: str,
+        machine: "contracts.StateMachine",
+        module: ModuleInfo,
+        constants: dict[str, str],
+    ) -> None:
+        self.rule_id = rule_id
+        self.machine = machine
+        self.module = module
+        self.constants = constants
+        self.all_states = frozenset(machine.states)
+        self.findings: list[Finding] = []
+
+    # -- narrowing -----------------------------------------------------------
+
+    def _is_state_field(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == self.machine.attribute
+        )
+
+    def _narrow(
+        self, test: ast.expr
+    ) -> tuple[frozenset[str], frozenset[str]]:
+        """(possible states if *test* is true, ... if false)."""
+        every = self.all_states
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            if self._is_state_field(test.left):
+                value = resolve_str(test.comparators[0], self.constants)
+                if value is not None and value in every:
+                    if isinstance(test.ops[0], ast.Eq):
+                        return frozenset({value}), every - {value}
+                    if isinstance(test.ops[0], ast.NotEq):
+                        return every - {value}, frozenset({value})
+        elif isinstance(test, ast.BoolOp):
+            pairs = [self._narrow(value) for value in test.values]
+            trues = [true for true, _ in pairs]
+            falses = [false for _, false in pairs]
+            if isinstance(test.op, ast.And):
+                true = every
+                for candidate in trues:
+                    true &= candidate
+                false = frozenset().union(*falses)
+                return true, false
+            true = frozenset().union(*trues)
+            false = every
+            for candidate in falses:
+                false &= candidate
+            return true, false
+        elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            true, false = self._narrow(test.operand)
+            return false, true
+        return every, every
+
+    # -- assignments ---------------------------------------------------------
+
+    def _state_value(self, node: ast.expr) -> str | None:
+        value = resolve_str(node, self.constants)
+        if value is not None and value in self.all_states:
+            return value
+        return None
+
+    def _handle_assign(
+        self, stmt: ast.Assign, current: frozenset[str]
+    ) -> frozenset[str]:
+        if not any(self._is_state_field(target) for target in stmt.targets):
+            return current
+        value = self._state_value(stmt.value)
+        if value is None:
+            return self.all_states  # dynamic write; anything is possible now
+        illegal = sorted(
+            source
+            for source in current
+            if not self.machine.allows(source, value)
+        )
+        if illegal:
+            self.findings.append(
+                Finding(
+                    self.rule_id,
+                    self.module.path,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    f"assignment {self.machine.attribute} = {value!r} forms "
+                    f"undeclared {self.machine.name} transition(s) from "
+                    f"{', '.join(illegal)}",
+                )
+            )
+        return frozenset({value})
+
+    # -- block walk ----------------------------------------------------------
+
+    def scan_block(
+        self, statements: list[ast.stmt], current: frozenset[str]
+    ) -> frozenset[str] | None:
+        """Walk a block; return the fall-through set, None if it exits."""
+        for stmt in statements:
+            if isinstance(stmt, _TERMINATORS):
+                return None
+            if isinstance(stmt, ast.Assign):
+                current = self._handle_assign(stmt, current)
+            elif isinstance(stmt, ast.If):
+                true, false = self._narrow(stmt.test)
+                body_out = self.scan_block(stmt.body, current & true)
+                if stmt.orelse:
+                    else_out = self.scan_block(stmt.orelse, current & false)
+                else:
+                    else_out = current & false
+                branches = [
+                    out for out in (body_out, else_out) if out is not None
+                ]
+                if not branches:
+                    return None
+                current = frozenset().union(*branches)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                self.scan_block(stmt.body, self.all_states)
+                self.scan_block(stmt.orelse, self.all_states)
+                current = self.all_states
+            elif isinstance(stmt, ast.Try):
+                self.scan_block(stmt.body, self.all_states)
+                for handler in stmt.handlers:
+                    self.scan_block(handler.body, self.all_states)
+                self.scan_block(stmt.orelse, self.all_states)
+                self.scan_block(stmt.finalbody, self.all_states)
+                current = self.all_states
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                out = self.scan_block(stmt.body, current)
+                if out is None:
+                    return None
+                current = out
+            # nested defs are scanned as functions in their own right
+        return current
+
+    def scan_init(self, node: ast.AST) -> None:
+        """In a constructor a state write must be the initial state."""
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Assign):
+                continue
+            if not any(
+                self._is_state_field(target) for target in child.targets
+            ):
+                continue
+            value = self._state_value(child.value)
+            if value is not None and value != self.machine.initial:
+                self.findings.append(
+                    Finding(
+                        self.rule_id,
+                        self.module.path,
+                        child.lineno,
+                        child.col_offset,
+                        f"{self.machine.name} objects must be born in "
+                        f"{self.machine.initial!r}, not {value!r}",
+                    )
+                )
+
+
+@register_project
+class StateTransitionRule(ProjectRule):
+    """STATE001: only declared state-machine edges may be written."""
+
+    rule_id = "STATE001"
+    title = "state-field write outside the declared transition table"
+    rationale = (
+        "The breaker, membership and job lifecycles are load-bearing "
+        "protocols: an undeclared edge (say open -> closed without a "
+        "probe) silently changes retry and dispatch behaviour."
+    )
+    scopes = ("cluster/", "service/")
+
+    def check(self, project: ProjectModel, graph: CallGraph) -> list[Finding]:
+        findings: list[Finding] = []
+        for machine in contracts.STATE_MACHINES.values():
+            module = project.modules_by_rel.get(machine.module)
+            if module is None:
+                continue
+            constants = module_str_constants(module)
+            for fn in functions_in_module(project, module):
+                scanner = _Scanner(self.rule_id, machine, module, constants)
+                if fn.name in INIT_FUNCTIONS:
+                    scanner.scan_init(fn.node)
+                else:
+                    scanner.scan_block(fn.node.body, scanner.all_states)
+                findings.extend(scanner.findings)
+        return sorted(findings, key=Finding.sort_index)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import ast
 import os
 from pathlib import PurePosixPath
-from typing import TYPE_CHECKING, ClassVar, Iterator, Mapping, Type
+from typing import TYPE_CHECKING, ClassVar, Iterator, Mapping, Sequence, Type
 
 from repro.analysis.findings import Finding
 
@@ -198,6 +198,71 @@ def known_rule_ids() -> frozenset[str]:
     must not itself be a lint violation.
     """
     return frozenset(_REGISTRY) | frozenset(_PROJECT_REGISTRY)
+
+
+def rule_family(rule_id: str) -> str:
+    """The family of a rule id: the id with its trailing digits stripped.
+
+    ``WIRE001`` -> ``WIRE``, ``DISC004`` -> ``DISC``.  ``--rules`` accepts
+    families as well as exact ids, so ``--rules WIRE,STATE`` selects every
+    contract rule without naming each one.
+    """
+    return rule_id.rstrip("0123456789")
+
+
+def expand_rule_selection(
+    rule_ids: Sequence[str], catalog: Mapping[str, object]
+) -> list[str]:
+    """Resolve exact ids and family prefixes against *catalog*'s keys.
+
+    Each entry must be a registered rule id or the family of at least one
+    registered rule; anything else raises :class:`ValueError` (the CLI
+    maps that to exit code 2).  Order follows the catalog, deduplicated.
+    """
+    selected: list[str] = []
+    for entry in rule_ids:
+        if entry in catalog:
+            matches = [entry]
+        else:
+            matches = [
+                rule_id for rule_id in catalog if rule_family(rule_id) == entry
+            ]
+        if not matches:
+            known = ", ".join(catalog)
+            raise ValueError(
+                f"unknown rule id or family {entry!r}; known: {known}"
+            )
+        for rule_id in matches:
+            if rule_id not in selected:
+                selected.append(rule_id)
+    return selected
+
+
+def rule_summaries() -> list[tuple[str, str, str, str]]:
+    """(rule id, family, engine, one-line title) across both registries.
+
+    The single source for ``repro lint --list-rules`` and ``repro check
+    --list-rules``: the docs table in DEVELOPMENT.md is spot-checked
+    against this, so per-file and whole-program rules must both appear.
+    """
+    rows: list[tuple[str, str, str, str]] = []
+    for rule_id, per_file in rule_catalog().items():
+        rows.append((rule_id, rule_family(rule_id), "lint", per_file.title))
+    for rule_id, project in project_rule_catalog().items():
+        rows.append((rule_id, rule_family(rule_id), "check", project.title))
+    return sorted(rows)
+
+
+def render_rule_summaries() -> str:
+    """The ``--list-rules`` table shared by the linter and the checker."""
+    rows = rule_summaries()
+    width_id = max(len(row[0]) for row in rows)
+    width_family = max(len(row[1]) for row in rows)
+    lines = [
+        f"{rule_id:<{width_id}}  {family:<{width_family}}  {engine:<5}  {title}"
+        for rule_id, family, engine, title in rows
+    ]
+    return "\n".join(lines)
 
 
 def walk_module(tree: ast.Module, rules: list[Rule], ctx: LintContext) -> None:

@@ -34,6 +34,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro import contracts
+
 SOAK_FORMAT = "repro.soak-report"
 SOAK_VERSION = 1
 
@@ -43,11 +45,9 @@ FAIL = "fail"
 GRADES = (PASS, DEGRADED, FAIL)
 
 #: event names copied into the report's breaker transition log
-BREAKER_EVENTS = ("breaker.opened", "breaker.half_open", "breaker.closed")
+BREAKER_EVENTS = contracts.BREAKER_EVENTS
 #: membership lifecycle events copied next to the breaker log
-MEMBERSHIP_EVENTS = (
-    "worker.joined", "worker.suspected", "worker.retired", "worker.left",
-)
+MEMBERSHIP_EVENTS = contracts.MEMBERSHIP_EVENTS
 
 
 def classify_outcome(outcome: Mapping[str, Any]) -> tuple[str, str]:

@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import contracts
 from repro.exceptions import InvalidParameterError
 
 #: breaker states, as exported on ``/healthz`` and in events
@@ -40,9 +41,12 @@ CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half_open"
 
+contracts.verify_states("breaker", (CLOSED, OPEN, HALF_OPEN), CLOSED)
+
 #: numeric encoding for the ``cluster.breaker_state{worker}`` gauge:
-#: the gauge rises with severity, so alerts can threshold on ``>= 2``
-BREAKER_STATE_CODES: dict[str, int] = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+#: the gauge rises with severity, so alerts can threshold on ``>= 2``;
+#: declared next to the state machine so dashboards and code agree
+BREAKER_STATE_CODES: dict[str, int] = dict(contracts.BREAKER_STATE_CODES)
 
 #: transition listener: ``(old_state, new_state)``; called outside the lock
 TransitionListener = Callable[[str, str], None]

@@ -53,6 +53,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, cast
 
+from repro import contracts
 from repro.cluster.breaker import BreakerConfig
 from repro.cluster.membership import WorkerMembership, WorkerRecord
 from repro.cluster.payload import (
@@ -222,7 +223,7 @@ class WorkerClient:
 
     def _http_error(self, exc: urllib.error.HTTPError) -> _ShardAttemptError:
         """Translate an HTTP error answer, honouring the worker's verdict."""
-        retryable = exc.code >= 500
+        retryable = contracts.retryable_for_status(exc.code)
         message = f"worker {self.name} answered {exc.code}"
         try:
             doc = json.loads(exc.read().decode("utf-8"))

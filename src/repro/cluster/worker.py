@@ -50,13 +50,13 @@ from repro.cluster.payload import (
     encode_shard_result,
     mine_shard,
 )
+from repro import contracts
 from repro.exceptions import DataFormatError, InvalidParameterError, ReproError
 from repro.obs import observation
 from repro.obs.context import activated
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prometheus import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.obs.trace_context import TraceContext, trace_scope
-from repro.service.supervise import RETRYABLE, classify
 
 #: default request-body ceiling for ``POST /shards`` (64 MiB): large
 #: enough for any realistic first-level partition, small enough that a
@@ -248,11 +248,15 @@ class WorkerRequestHandler(BaseHTTPRequestHandler):
         except ReproError as exc:
             # Mining failed after a well-formed payload: report whether a
             # retry (on this or another worker) can help, using the same
-            # classification the service's job supervisor applies.
+            # taxonomy the service's job supervisor applies.
             self.worker.record_failure()
-            retryable = classify(exc) == RETRYABLE
             self._send_json(
-                500, _error_body(type(exc).__name__, exc, retryable=retryable)
+                500,
+                _error_body(
+                    contracts.wire_code_for(exc),
+                    exc,
+                    retryable=contracts.is_retryable(exc),
+                ),
             )
             return
         headers = None
@@ -262,9 +266,12 @@ class WorkerRequestHandler(BaseHTTPRequestHandler):
 
 
 def _error_doc(code: str, message: str, retryable: bool) -> dict[str, object]:
-    return {
+    doc: dict[str, object] = {
         "error": {"code": code, "message": message, "retryable": retryable}
     }
+    problems = contracts.validate_error_body(doc, require_retryable=True)
+    assert not problems, problems  # the contract is ours to keep
+    return doc
 
 
 def _error_body(code: str, exc: Exception, retryable: bool) -> dict[str, object]:

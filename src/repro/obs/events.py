@@ -36,6 +36,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import IO, Any, Iterator, Mapping
 
+from repro import contracts
 from repro.exceptions import DataFormatError, InvalidParameterError
 from repro.obs.trace_context import current_trace
 
@@ -48,32 +49,11 @@ EVENT_VERSION = 1
 LEVELS = ("debug", "info", "warn", "error")
 _LEVEL_ORDER = {name: index for index, name in enumerate(LEVELS)}
 
-#: event vocabulary: event name -> fields required beyond the envelope
-EVENT_VOCABULARY: Mapping[str, tuple[str, ...]] = {
-    "job.accepted": ("job_id", "trace_id"),
-    "job.cache_hit": ("job_id", "trace_id"),
-    "job.started": ("job_id", "attempt"),
-    "job.checkpoint": ("job_id", "partitions"),
-    "job.retry": ("job_id", "attempt"),
-    "job.recovered": ("job_id", "resumed"),
-    "job.cancelled": ("job_id",),
-    "job.finished": ("job_id", "state"),
-    "journal.replayed": ("total_lines", "corrupt_lines"),
-    "mine.phase": ("phase", "seconds"),
-    "fault.injected": ("site", "hit"),
-    "shard.dispatched": ("lam", "worker"),
-    "shard.completed": ("lam", "worker", "patterns"),
-    "shard.retried": ("lam", "worker"),
-    "shard.failed": ("reason",),
-    "worker.joined": ("worker",),
-    "worker.suspected": ("worker",),
-    "worker.retired": ("worker",),
-    "worker.left": ("worker",),
-    "breaker.opened": ("worker",),
-    "breaker.half_open": ("worker",),
-    "breaker.closed": ("worker",),
-    "cluster.degraded": ("reason",),
-}
+#: event vocabulary: event name -> fields required beyond the envelope.
+#: Declared once in :mod:`repro.contracts` (with the optional fields the
+#: static WIRE001 rule also checks); re-exported here for callers that
+#: predate the manifest.
+EVENT_VOCABULARY: Mapping[str, tuple[str, ...]] = contracts.EVENT_VOCABULARY
 
 
 class EventLog:
@@ -230,12 +210,11 @@ def validate_event(record: object) -> list[str]:
     name = record.get("event")
     if not isinstance(name, str):
         problems.append(f"event name is not a string: {name!r}")
-    elif name not in EVENT_VOCABULARY:
-        problems.append(f"unknown event {name!r}")
     else:
-        missing = [field for field in EVENT_VOCABULARY[name] if field not in record]
-        if missing:
-            problems.append(f"{name} record missing fields: {missing}")
+        # the manifest checks required *and* undeclared fields, so a
+        # field the vocabulary never heard of fails here exactly as it
+        # fails the static WIRE001 gate
+        problems.extend(contracts.validate_event_fields(name, record))
     return problems
 
 

@@ -43,6 +43,7 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from repro import contracts
 from repro.core.sequence import format_seq
 from repro.db import io as dbio
 from repro.exceptions import (
@@ -75,6 +76,11 @@ _ERROR_STATUS: tuple[tuple[type[ReproError], int, str], ...] = (
     (InvalidParameterError, 400, "bad_parameter"),
     (ReproError, 400, "error"),
 )
+
+# A table that drifts from the declared taxonomy answers with statuses
+# the coordinator's retry policy was never told about — fail at import,
+# not in a handler.
+contracts.verify_error_status(_ERROR_STATUS)
 
 
 def _error_payload(exc: ReproError) -> tuple[int, dict[str, object]]:
@@ -181,6 +187,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             error = payload.get("error")
             if isinstance(error, dict):
                 error["retry_after_seconds"] = hint
+        problems = contracts.validate_error_body(payload)
+        assert not problems, problems  # the contract is ours to keep
         self._send_json(status, payload, headers=headers)
 
     def _read_json(self) -> dict[str, object]:

@@ -31,6 +31,7 @@ import time
 from collections import deque
 from typing import TYPE_CHECKING, Callable
 
+from repro import contracts
 from repro.core.cancel import CancelToken, cancel_scope
 from repro.exceptions import (
     InvalidParameterError,
@@ -56,6 +57,8 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+
+contracts.verify_states("job", (QUEUED, RUNNING, DONE, FAILED, CANCELLED), QUEUED)
 
 TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
 

@@ -38,12 +38,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.exceptions import (
-    InjectedFaultError,
-    InvalidParameterError,
-    OperationCancelledError,
-    ReproError,
-)
+from repro import contracts
+from repro.exceptions import InvalidParameterError
 
 #: Classification outcomes of :func:`classify`.
 RETRYABLE = "retryable"
@@ -81,14 +77,13 @@ class RetryPolicy:
 
 
 def classify(exc: BaseException) -> str:
-    """Sort a job failure into :data:`RETRYABLE` or :data:`TERMINAL`."""
-    if isinstance(exc, OperationCancelledError):
-        return TERMINAL
-    if isinstance(exc, InjectedFaultError):
-        return RETRYABLE
-    if isinstance(exc, ReproError):
-        return TERMINAL
-    return RETRYABLE
+    """Sort a job failure into :data:`RETRYABLE` or :data:`TERMINAL`.
+
+    The verdict comes from :data:`repro.contracts.RETRYABLE_BY_CLASS` —
+    the same table the worker's error bodies and the coordinator's retry
+    decisions are checked against — walked over the exception's MRO.
+    """
+    return RETRYABLE if contracts.is_retryable(exc) else TERMINAL
 
 
 def backoff_delay(attempt: int, policy: RetryPolicy) -> float:

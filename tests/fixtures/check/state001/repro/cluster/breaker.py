@@ -1,0 +1,22 @@
+"""STATE001 fixture: a breaker taking an undeclared transition."""
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    def __init__(self) -> None:
+        self._state = CLOSED
+
+    def misbehave(self) -> None:
+        if self._state == CLOSED:
+            self._state = HALF_OPEN
+
+    def misbehave_quietly(self) -> None:
+        if self._state == CLOSED:
+            self._state = HALF_OPEN  # repro: allow[STATE001]
+
+    def trip(self) -> None:
+        if self._state == CLOSED:
+            self._state = OPEN

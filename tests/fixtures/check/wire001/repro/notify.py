@@ -1,0 +1,13 @@
+"""WIRE001 fixture: emit sites checked against the event vocabulary."""
+
+from repro.obs.events import emit
+
+
+def announce(job_id: str) -> None:
+    emit("job.acceptedx", job_id=job_id)
+    emit("job.accepted", job_id=job_id, flavour="vanilla")
+    emit("job.acceptedx", job_id=job_id)  # repro: allow[WIRE001]
+
+
+def well_formed(job_id: str) -> None:
+    emit("job.accepted", job_id=job_id, database="synthetic")

@@ -1,0 +1,10 @@
+"""WIRE002 fixture: a renderer reading keys outside the metrics schema."""
+
+
+def render_prometheus(snapshot):
+    lines = []
+    for entry in snapshot.get("metrics", []):
+        kind = entry.get("type")
+        lines.append((kind, entry.get("name"), entry.get("valuex")))
+        lines.append(entry.get("countx"))  # repro: allow[WIRE002]
+    return lines

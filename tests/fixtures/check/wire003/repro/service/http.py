@@ -1,0 +1,14 @@
+"""WIRE003 fixture: an _ERROR_STATUS table drifted from the taxonomy."""
+
+_ERROR_STATUS = (
+    (ServiceOverloadedError, 429, "overloaded"),
+    (ServiceClosedError, 503, "shutting_down"),
+    (UnknownDatabaseError, 404, "unknown_database"),
+    (UnknownJobError, 404, "unknown_job"),
+    (UnknownWorkerError, 404, "unknown_worker"),
+    (UnknownAlgorithmError, 400, "unknown_algorithm"),
+    (DataFormatError, 500, "bad_database"),
+    (InvalidParameterError, 400, "bad_parameter"),
+    (ReproError, 400, "error"),
+    (TeapotError, 418, "teapot"),  # repro: allow[WIRE003]
+)

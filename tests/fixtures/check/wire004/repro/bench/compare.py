@@ -1,0 +1,8 @@
+"""WIRE004 fixture: the invariant gate names an undeclared metric."""
+
+_INVARIANT = (
+    "disc.comparisons",
+    "disc.lemma1_frequent",
+    "disc.lemma2_prunes",
+    "made.up.metric",
+)

@@ -1,0 +1,1 @@
+"""Manifest marker: opts this fixture tree into the WIRE rule gates."""

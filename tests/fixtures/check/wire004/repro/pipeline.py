@@ -1,0 +1,9 @@
+"""WIRE004 fixture: metric sites outside the declared registry."""
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def record(registry: MetricsRegistry) -> None:
+    registry.counter("made.up.metric").add(1)
+    registry.counter("also.made.up").add(1)  # repro: allow[WIRE004]
+    registry.counter("disc.comparisons").add(1)

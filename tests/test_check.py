@@ -109,18 +109,104 @@ class TestHot001:
         assert lines == [11]
 
 
+class TestWire001:
+    def test_undeclared_event_and_undeclared_field(self):
+        # line 7 emits a name outside contracts.EVENTS; line 8 passes a
+        # field job.accepted never declared.
+        assert findings_of("wire001", "WIRE001") == [
+            ("WIRE001", 7),
+            ("WIRE001", 8),
+        ]
+
+    def test_suppressed_twin_and_well_formed_site_are_clean(self):
+        lines = [line for _, line in findings_of("wire001", "WIRE001")]
+        assert 9 not in lines  # allow[WIRE001] twin
+        assert 13 not in lines  # well-formed emit
+
+    def test_rule_gates_on_the_manifest_marker(self):
+        # fixture trees without a repro/contracts.py module opt out —
+        # the flow001 tree re-uses real module paths and must not fire.
+        assert findings_of("flow001", "WIRE001") == []
+
+
+class TestWire002:
+    def test_undeclared_consumed_key(self):
+        # line 8 reads 'valuex', not a key of the metrics schema
+        assert findings_of("wire002", "WIRE002") == [("WIRE002", 8)]
+
+    def test_suppressed_twin_and_declared_keys_are_clean(self):
+        lines = [line for _, line in findings_of("wire002", "WIRE002")]
+        assert lines == [8]  # 'countx' on line 9 carries the allow
+
+    def test_rule_gates_on_the_manifest_marker(self):
+        assert findings_of("flow001", "WIRE002") == []
+
+
+class TestWire003:
+    def test_drifted_status_row(self):
+        # row 6 declares DataFormatError at 500; the taxonomy says 400
+        assert findings_of("wire003", "WIRE003") == [("WIRE003", 10)]
+
+    def test_suppressed_extra_row_is_silent(self):
+        lines = [line for _, line in findings_of("wire003", "WIRE003")]
+        assert 13 not in lines  # the TeapotError row carries the allow
+
+    def test_rule_gates_on_the_manifest_marker(self):
+        # flow001 has its own toy _ERROR_STATUS in repro/service/http.py
+        assert findings_of("flow001", "WIRE003") == []
+
+
+class TestWire004:
+    def test_undeclared_invariant_and_undeclared_site(self):
+        # compare.py line 7 gates on a metric the registry never heard
+        # of; pipeline.py line 7 produces it.
+        assert findings_of("wire004", "WIRE004") == [
+            ("WIRE004", 7),
+            ("WIRE004", 7),
+        ]
+
+    def test_suppressed_twin_and_declared_metric_are_clean(self):
+        found = findings_of("wire004", "WIRE004")
+        assert len(found) == 2  # the allow'd site and the declared
+        # disc.comparisons production stay silent
+
+    def test_rule_gates_on_the_manifest_marker(self):
+        # hot001 produces an undeclared 'disc.steps' counter on purpose
+        assert findings_of("hot001", "WIRE004") == []
+
+
+class TestState001:
+    def test_undeclared_breaker_edge(self):
+        # closed -> half_open is not in the declared transition table
+        assert findings_of("state001", "STATE001") == [("STATE001", 14)]
+
+    def test_suppressed_twin_and_legal_edge_are_clean(self):
+        lines = [line for _, line in findings_of("state001", "STATE001")]
+        assert 18 not in lines  # allow[STATE001] twin
+        assert 22 not in lines  # closed -> open is declared
+
+
 class TestCatalog:
     def test_every_project_rule_is_documented(self):
         catalog = project_rule_catalog()
-        for rule_id in ("CONC001", "CONC002", "FLOW001", "FLOW002", "HOT001"):
+        for rule_id in (
+            "CONC001", "CONC002", "FLOW001", "FLOW002", "HOT001",
+            "WIRE001", "WIRE002", "WIRE003", "WIRE004", "STATE001",
+        ):
             assert rule_id in catalog
             assert catalog[rule_id].title
             assert catalog[rule_id].rationale
-            assert catalog[rule_id].scopes
 
     def test_unknown_rule_selection_raises(self):
         with pytest.raises(ValueError, match="unknown rule id"):
             check_paths([FIXTURES / "conc001"], rule_ids=["NOPE001"])
+
+    def test_family_prefix_selects_every_member(self):
+        # --rules WIRE must reach all four members: the wire001 fixture
+        # fires under the family exactly as under the exact id.
+        family, _ = check_paths([FIXTURES / "wire001"], rule_ids=["WIRE"])
+        exact, _ = check_paths([FIXTURES / "wire001"], rule_ids=["WIRE001"])
+        assert [f.rule_id for f in family] and family == exact
 
 
 class TestCli:
@@ -157,8 +243,19 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["check", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("CONC001", "CONC002", "FLOW001", "FLOW002", "HOT001"):
+        for rule_id in (
+            "CONC001", "CONC002", "FLOW001", "FLOW002", "HOT001",
+            "WIRE001", "WIRE002", "WIRE003", "WIRE004", "STATE001",
+            "DISC001",  # the listing is unified across both engines
+        ):
             assert rule_id in out
+
+    def test_family_rules_filter_on_the_cli(self, capsys):
+        assert main(
+            ["check", "--rules", "WIRE,STATE", str(FIXTURES / "wire001")]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "WIRE001" in out
 
     def test_json_format(self, capsys):
         assert main(
